@@ -1,0 +1,63 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's own figures: the rate controller's contribution, the
+squared in-flight exponent in Eq. 4, and §4's 5-second scrape-interval
+choice.
+"""
+
+from __future__ import annotations
+
+from conftest import REPETITIONS, SCENARIO_DURATION_S, run_once, save_output
+
+from repro.bench.experiments import (
+    ablation_inflight_exponent,
+    ablation_rate_control,
+    ablation_retries,
+    ablation_scrape_interval,
+)
+
+
+def test_ablation_rate_control(benchmark):
+    experiment = run_once(
+        benchmark, ablation_rate_control,
+        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS)
+    save_output("ablation_rate_control", experiment.render())
+    rows = experiment.table.rows
+    # On the fluctuating-RPS scenario the rate controller must not make
+    # things meaningfully worse (its job is stability, not raw latency).
+    assert rows["l3"]["p99_ms"] <= rows["l3-no-rate-control"]["p99_ms"] * 1.15
+
+
+def test_ablation_inflight_exponent(benchmark):
+    experiment = run_once(
+        benchmark, ablation_inflight_exponent,
+        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS)
+    save_output("ablation_inflight_exponent", experiment.render())
+    rows = experiment.table.rows
+    # All exponents produce a functional balancer; the paper's k=2 must be
+    # within 15 % of the best of the sweep.
+    best = min(row["p99_ms"] for row in rows.values())
+    assert rows["k=2"]["p99_ms"] <= best * 1.15
+
+
+def test_ablation_retries(benchmark):
+    experiment = run_once(
+        benchmark, ablation_retries,
+        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS)
+    save_output("ablation_retries", experiment.render())
+    rows = experiment.table.rows
+    # Retries convert failures into latency: success rises markedly.
+    assert (rows["l3 retry-2"]["success_pct"]
+            > rows["l3 no-retry"]["success_pct"] + 1.0)
+
+
+def test_ablation_scrape_interval(benchmark):
+    experiment = run_once(
+        benchmark, ablation_scrape_interval,
+        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS)
+    save_output("ablation_scrape_interval", experiment.render())
+    rows = experiment.table.rows
+    # Faster scraping reacts faster; 2.5 s must not be worse than 10 s by
+    # more than noise (§4: shorter intervals give "a measurable
+    # improvement" at higher Prometheus cost).
+    assert rows["2.5s"]["p99_ms"] <= rows["10s"]["p99_ms"] * 1.10

@@ -1,0 +1,68 @@
+"""Figs. 1, 2 and 6 — the scenario trace characteristics.
+
+These figures present the (synthetic equivalents of the) TIER Mobility
+traces themselves: per-cluster P50/P99 latency over the 10-minute window
+and the offered RPS. The benchmark regenerates every series and asserts
+the published characteristics hold (median ranges, tail ranges, RPS
+envelopes).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, save_output
+
+from repro.bench.experiments import (
+    fig1_2_trace_characteristics,
+    fig6_trace_characteristics,
+)
+
+
+def _series_range(points):
+    values = [v for _t, v in points]
+    return min(values), max(values)
+
+
+def test_fig1_fig2_scenario_1_2_traces(benchmark):
+    experiment = run_once(benchmark, fig1_2_trace_characteristics)
+    save_output("fig01_02_traces", experiment.render())
+
+    # scenario-1: medians 50-100 ms (cluster-2 spikes beyond), P99 well
+    # above median, stable ~300 RPS.
+    for cluster in ("cluster-1", "cluster-3"):
+        low, high = _series_range(
+            experiment.series[f"scenario-1/{cluster}/p50_ms"])
+        assert low >= 40.0 and high <= 400.0
+    _lo, c2_high = _series_range(
+        experiment.series["scenario-1/cluster-2/p50_ms"])
+    assert c2_high > 100.0, "cluster-2 median must spike (Fig. 1a)"
+    rps_lo, rps_hi = _series_range(experiment.series["scenario-1/rps"])
+    assert 270.0 <= rps_lo and rps_hi <= 330.0, "scenario-1 RPS is stable"
+
+    # scenario-2: single-digit medians, P99 spiking over 2000 ms, RPS
+    # fluctuating between ~50 and ~200.
+    for cluster in ("cluster-1", "cluster-2", "cluster-3"):
+        lo, hi = _series_range(
+            experiment.series[f"scenario-2/{cluster}/p50_ms"])
+        assert lo >= 2.0 and hi <= 15.0
+    p99_max = max(
+        _series_range(experiment.series[f"scenario-2/{c}/p99_ms"])[1]
+        for c in ("cluster-1", "cluster-2", "cluster-3"))
+    assert p99_max > 1000.0, "scenario-2 has >1 s P99 spikes (Fig. 1b)"
+    rps_lo, rps_hi = _series_range(experiment.series["scenario-2/rps"])
+    assert rps_lo >= 40.0 and rps_hi <= 210.0
+
+
+def test_fig6_scenario_3_4_5_traces(benchmark):
+    experiment = run_once(benchmark, fig6_trace_characteristics)
+    save_output("fig06_traces", experiment.render())
+
+    max_p99 = {
+        name: max(
+            _series_range(experiment.series[f"{name}/{c}/p99_ms"])[1]
+            for c in ("cluster-1", "cluster-2", "cluster-3"))
+        for name in ("scenario-3", "scenario-4", "scenario-5")
+    }
+    # Fig. 6: scenario-4 has the wildest tail, scenario-5 the calmest.
+    assert max_p99["scenario-4"] > max_p99["scenario-3"] > max_p99["scenario-5"]
+    assert max_p99["scenario-5"] < 500.0
+    assert max_p99["scenario-4"] > 1500.0

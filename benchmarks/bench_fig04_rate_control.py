@@ -1,0 +1,41 @@
+"""Fig. 4 — the rate-control algorithm's weight-adjustment curves.
+
+Pure-function sweep of Algorithm 2 over relative change c in [-1, 3] for
+(a) an above-average weight (w_b = 2000, w_mu = 1000) and (b) a
+below-average weight (w_b = 500, w_mu = 1000), asserting every property
+the paper describes for the curves.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, save_output
+
+from repro.bench.experiments import fig4_rate_control_curves
+
+
+def test_fig4_rate_control_curves(benchmark):
+    experiment = run_once(benchmark, fig4_rate_control_curves)
+    save_output("fig04_rate_control", experiment.render())
+
+    above = dict(experiment.series["a:wb=2000"])
+    below = dict(experiment.series["b:wb=500"])
+
+    # c = 0: weights untouched.
+    assert above[0.0] == 2000.0
+    assert below[0.0] == 500.0
+
+    # RPS increase (c > 0): both converge asymptotically toward w_mu.
+    assert 1000.0 < above[3.0] < 1100.0
+    assert 900.0 < below[3.0] < 1000.0
+    assert above[1.0] > above[3.0]  # monotone toward the mean
+    assert below[1.0] < below[3.0]
+
+    # RPS decrease (c < 0): above-average weights grow opportunistically,
+    # below-average weights shrink.
+    assert above[-0.5] > 2000.0
+    assert above[-1.0] > above[-0.5]
+    assert below[-0.5] < 500.0
+    assert below[-1.0] < below[-0.5]
+
+    # Fig. 4a: for c = -1 the boosted weight approaches 2*w_b - w_mu.
+    assert above[-1.0] < 2.0 * 2000.0 - 1000.0

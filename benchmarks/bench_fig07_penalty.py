@@ -1,0 +1,38 @@
+"""Fig. 7 — the penalty factor P's effect on success rate and latency.
+
+Runs the failure-2 scenario (Fig. 7a's success-rate trace) with L3 at a
+range of penalty factors and compares against round-robin, asserting the
+paper's two trends: success rate rises (toward the best backend's ceiling)
+and the percentile-latency decrease diminishes as P grows.
+"""
+
+from __future__ import annotations
+
+from conftest import REPETITIONS, SCENARIO_DURATION_S, run_once, save_output
+
+from repro.bench.experiments import fig7_penalty_factor_sweep
+
+
+def test_fig7_penalty_factor_sweep(benchmark):
+    experiment = run_once(
+        benchmark, fig7_penalty_factor_sweep,
+        penalties_s=(0.1, 0.6, 1.5),
+        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS)
+    save_output("fig07_penalty", experiment.render())
+
+    rows = experiment.table.rows
+    low = rows["l3 P=0.1s"]
+    high = rows["l3 P=1.5s"]
+
+    # Success rate must not fall as P rises (trend of Fig. 7b); the gain
+    # is small because failure-2's failures are light.
+    assert high["success_pct"] >= low["success_pct"] - 0.05
+
+    # Every L3 configuration beats round-robin on P99 for this scenario.
+    for name, row in rows.items():
+        if name == "round-robin":
+            continue
+        assert row["p99_ms"] < rows["round-robin"]["p99_ms"]
+
+    # The latency advantage diminishes with larger P.
+    assert high["p99_dec_pct"] <= low["p99_dec_pct"] + 2.0

@@ -1,0 +1,28 @@
+"""Fig. 8 — EWMA vs PeakEWMA filtering on scenario-4.
+
+The paper finds both L3 variants beat round-robin on the wildest-tail
+trace, with plain EWMA slightly ahead of PeakEWMA (805.7 / 590.4 / 577.1
+ms). The benchmark reproduces the comparison and asserts the dominant
+ordering (both variants < round-robin).
+"""
+
+from __future__ import annotations
+
+from conftest import REPETITIONS, SCENARIO_DURATION_S, run_once, save_output
+
+from repro.bench.experiments import fig8_ewma_vs_peakewma
+
+
+def test_fig8_ewma_vs_peakewma(benchmark):
+    experiment = run_once(
+        benchmark, fig8_ewma_vs_peakewma,
+        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS)
+    save_output("fig08_peakewma", experiment.render())
+
+    rows = experiment.table.rows
+    assert rows["l3"]["p99_ms"] < rows["round-robin"]["p99_ms"]
+    assert rows["l3-peak"]["p99_ms"] < rows["round-robin"]["p99_ms"]
+    # EWMA vs PeakEWMA differ by ~2 % in the paper — assert they are
+    # within each other's ballpark rather than a strict (noisy) ordering.
+    assert (abs(rows["l3"]["p99_ms"] - rows["l3-peak"]["p99_ms"])
+            < 0.35 * rows["round-robin"]["p99_ms"])

@@ -1,0 +1,30 @@
+"""Fig. 9 — DeathStarBench hotel-reservation latency comparison.
+
+Round-robin vs C3 vs L3 at 200 RPS across three clusters. The paper's
+values are 93.0 / 88.3 / 68.8 ms P99; the reproducible *shape* is that
+both latency-aware algorithms beat round-robin, L3 at least matching C3.
+"""
+
+from __future__ import annotations
+
+from conftest import HOTEL_DURATION_S, REPETITIONS, run_once, save_output
+
+from repro.bench.experiments import fig9_hotel_reservation
+
+
+def test_fig9_hotel_reservation(benchmark):
+    experiment = run_once(
+        benchmark, fig9_hotel_reservation,
+        duration_s=HOTEL_DURATION_S, repetitions=REPETITIONS)
+    save_output("fig09_hotel", experiment.render())
+
+    rows = experiment.table.rows
+    rr = rows["round-robin"]["p99_ms"]
+    assert rows["l3"]["p99_ms"] < rr
+    assert rows["c3"]["p99_ms"] < rr
+    # L3 at least matches C3 (paper: L3 clearly ahead; in simulation the
+    # two are within a few percent — see EXPERIMENTS.md).
+    assert rows["l3"]["p99_ms"] <= rows["c3"]["p99_ms"] * 1.05
+    # The median gain is unambiguous: latency-aware routing keeps most
+    # hops cluster-local.
+    assert rows["l3"]["p50_ms"] < rows["round-robin"]["p50_ms"] * 0.85

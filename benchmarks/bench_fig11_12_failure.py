@@ -1,0 +1,38 @@
+"""Figs. 11 & 12 — latency and success rate under failure injection.
+
+failure-1 (heavy failures, drops to 30 % success) and failure-2 (light,
+~99 % with short dips). The paper's shape: L3 beats round-robin on P99 in
+both; L3 recovers success rate on failure-1 (91.4 → 92.4 %) while C3 —
+which does not optimise for success rate — is the worst of the three;
+failure-2's success rates are flat for all.
+"""
+
+from __future__ import annotations
+
+from conftest import REPETITIONS, SCENARIO_DURATION_S, run_once, save_output
+
+from repro.bench.experiments import fig11_12_failure_scenarios
+
+
+def test_fig11_12_failure_scenarios(benchmark):
+    experiments = run_once(
+        benchmark, fig11_12_failure_scenarios,
+        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS)
+    save_output("fig11_12_failure", "\n\n".join(
+        experiment.render() for experiment in experiments.values()))
+
+    for name, experiment in experiments.items():
+        rows = experiment.table.rows
+        assert rows["l3"]["p99_ms"] < rows["round-robin"]["p99_ms"], name
+
+    heavy = experiments["failure-1"].table.rows
+    # Fig. 12a: L3's success rate beats both round-robin and C3; C3 (no
+    # success-rate optimisation) is the worst.
+    assert heavy["l3"]["success_pct"] > heavy["c3"]["success_pct"]
+    assert heavy["l3"]["success_pct"] >= heavy["round-robin"]["success_pct"] - 0.1
+    assert heavy["c3"]["success_pct"] <= heavy["round-robin"]["success_pct"] + 0.1
+
+    light = experiments["failure-2"].table.rows
+    # Fig. 12b: success rates are flat (within half a point of each other).
+    values = [row["success_pct"] for row in light.values()]
+    assert max(values) - min(values) < 0.5

@@ -1,0 +1,35 @@
+"""§5.3.1 prose experiment — the hotel app's ~1000 RPS saturation knee.
+
+Not a numbered figure, but a concrete claim of the evaluation text: the
+latency results are flat across the low-RPS range and rise when offered
+load approaches the microservices' capacity (which is why the paper runs
+Fig. 9 at 200 RPS).
+"""
+
+from __future__ import annotations
+
+from conftest import FAST, run_once, save_output
+
+from repro.bench.experiments import hotel_rps_saturation_sweep
+
+RPS_VALUES = (200.0, 600.0, 1100.0) if FAST else (
+    200.0, 400.0, 600.0, 800.0, 1000.0, 1200.0)
+DURATION_S = 60.0 if FAST else 120.0
+
+
+def test_hotel_saturation_knee(benchmark):
+    experiment = run_once(
+        benchmark, hotel_rps_saturation_sweep,
+        rps_values=RPS_VALUES, duration_s=DURATION_S)
+    save_output("saturation_sweep", experiment.render())
+
+    rows = experiment.table.rows
+    low = rows[f"{RPS_VALUES[0]:g} RPS"]["p99_ms"]
+    comfortable = rows[f"{RPS_VALUES[1]:g} RPS"]["p99_ms"]
+    high = rows[f"{RPS_VALUES[-1]:g} RPS"]["p99_ms"]
+
+    # Flat across the comfortable range ("little to no changes") ...
+    assert comfortable < low * 1.5
+    # ... and a clear knee once offered load reaches the capacity the
+    # deployment was sized for (~1000 RPS).
+    assert high > low * 2.0

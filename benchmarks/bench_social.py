@@ -1,0 +1,38 @@
+"""Extension bench: the social-network application under all algorithms.
+
+Beyond the paper's workloads — DeathStarBench's socialNetwork graph with
+its deeper, write-fanning call chains. The reproducible shape matches the
+hotel app's: latency-aware algorithms beat round-robin by keeping hops
+cluster-local, and per-request P2C (no scrape delay) is at least
+competitive with the TrafficSplit-level controllers.
+"""
+
+from __future__ import annotations
+
+from conftest import FAST, run_once, save_output
+
+from repro.bench.coordinator import run_social_benchmark
+from repro.bench.results import ComparisonTable
+
+DURATION_S = 60.0 if FAST else 180.0
+
+
+def _run_comparison():
+    table = ComparisonTable(
+        "social-network P99 at 150 RPS", baseline="round-robin")
+    for algorithm in ("round-robin", "c3", "l3", "p2c"):
+        result = run_social_benchmark(
+            algorithm, rps=150.0, duration_s=DURATION_S, seed=1)
+        table.add(algorithm, p50_ms=result.p50_ms, p99_ms=result.p99_ms)
+    return table
+
+
+def test_social_network_comparison(benchmark):
+    table = run_once(benchmark, _run_comparison)
+    save_output("social_network", table.render())
+
+    rows = table.rows
+    rr = rows["round-robin"]
+    for name in ("c3", "l3", "p2c"):
+        assert rows[name]["p50_ms"] < rr["p50_ms"], name
+        assert rows[name]["p99_ms"] < rr["p99_ms"] * 1.05, name

@@ -1,0 +1,45 @@
+"""Shared helpers for the per-figure benchmark suite.
+
+Each figure benchmark runs its experiment exactly once under
+pytest-benchmark (``rounds=1``) — the interesting output is the regenerated
+figure data, not the harness's own wall-clock. Durations are paper-scale
+by default; set ``REPRO_BENCH_FAST=1`` to run 120-second prefixes instead.
+
+Rendered experiment outputs are written to ``benchmarks/_output/`` so they
+can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "_output"
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+# Scenario runs: full 10-minute trace, or a 2-minute prefix in fast mode.
+SCENARIO_DURATION_S = 120.0 if FAST else 600.0
+# Hotel runs: paper uses 20 minutes; 5 minutes reproduces the shape.
+HOTEL_DURATION_S = 120.0 if FAST else 300.0
+REPETITIONS = 1
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+def save_output(name: str, text: str) -> None:
+    """Persist a rendered experiment to benchmarks/_output/<name>.txt."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(autouse=True)
+def _print_figure_banner(request, capsys):
+    yield

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Failure injection: success-rate-aware balancing (paper Figs. 11-12).
+
+Runs the failure-1 scenario (average success ~91 %, with per-cluster
+outages dropping success to 30-60 %) under the three algorithms and shows
+how L3's success-rate term (Eq. 3's retry penalty) steers traffic away
+from failing clusters — something neither round-robin nor the C3
+adaptation does.
+
+Also demonstrates the §5.2.1 penalty-factor trade-off and the §7
+dynamic-penalty extension.
+
+Run with::
+
+    python examples/failure_injection.py [duration_seconds]
+"""
+
+import sys
+
+from repro import L3Config, WeightingConfig, run_scenario_benchmark
+from repro.bench.results import ComparisonTable
+
+
+def main() -> None:
+    duration_s = float(sys.argv[1]) if len(sys.argv) > 1 else 180.0
+
+    table = ComparisonTable(
+        f"failure-1, {duration_s:.0f}s measured", baseline="round-robin")
+    for algorithm in ("round-robin", "c3", "l3"):
+        print(f"running {algorithm} ...")
+        result = run_scenario_benchmark(
+            "failure-1", algorithm, duration_s=duration_s, seed=7)
+        table.add(algorithm,
+                  p99_ms=result.p99_ms,
+                  success_pct=result.success_rate * 100.0)
+    print()
+    print(table.render())
+
+    print("\npenalty factor sweep (failure-1): larger P trades latency for"
+          " success rate")
+    sweep = ComparisonTable("penalty sweep", baseline=None)
+    for penalty_s in (0.1, 0.6, 1.5):
+        config = L3Config(weighting=WeightingConfig(penalty_s=penalty_s))
+        result = run_scenario_benchmark(
+            "failure-1", "l3", duration_s=duration_s, seed=7,
+            l3_config=config)
+        sweep.add(f"P={penalty_s:g}s",
+                  p99_ms=result.p99_ms,
+                  success_pct=result.success_rate * 100.0)
+    print()
+    print(sweep.render())
+
+    print("\ndynamic penalty (paper future work): P tracked per backend"
+          " from observed failure latency")
+    result = run_scenario_benchmark(
+        "failure-1", "l3", duration_s=duration_s, seed=7,
+        l3_config=L3Config(dynamic_penalty=True))
+    print(f"  dynamic-P L3: p99={result.p99_ms:.1f} ms  "
+          f"success={result.success_rate * 100.0:.2f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The DeathStarBench hotel-reservation benchmark (paper Fig. 9).
+
+Deploys the 17-service hotel-reservation application (8 microservices plus
+their caches and MongoDB instances) across three clusters, drives it with
+a wrk2-style constant-throughput client at 200 RPS from cluster-1, and
+compares round-robin, the C3 adaptation, and L3 on end-to-end latency.
+
+Run with::
+
+    python examples/hotel_reservation.py [rps] [duration_seconds]
+"""
+
+import sys
+
+from repro import run_hotel_benchmark
+from repro.analysis.stats import latency_timeline
+from repro.bench.results import ComparisonTable
+
+
+def main() -> None:
+    rps = float(sys.argv[1]) if len(sys.argv) > 1 else 200.0
+    duration_s = float(sys.argv[2]) if len(sys.argv) > 2 else 180.0
+
+    table = ComparisonTable(
+        f"hotel-reservation at {rps:.0f} RPS, {duration_s:.0f}s measured",
+        baseline="round-robin")
+    results = {}
+    for algorithm in ("round-robin", "c3", "l3"):
+        print(f"running {algorithm} ...")
+        result = run_hotel_benchmark(
+            algorithm, rps=rps, duration_s=duration_s, seed=7)
+        results[algorithm] = result
+        table.add(algorithm,
+                  p50_ms=result.p50_ms,
+                  p90_ms=result.p90_ms,
+                  p99_ms=result.p99_ms)
+
+    print()
+    print(table.render())
+
+    # Show where L3's gain comes from: the per-10s P50 timeline. L3 keeps
+    # most service-to-service hops cluster-local, removing WAN round trips
+    # from the common path.
+    print("\nP50 over time (ms), first six 10-second buckets:")
+    for algorithm, result in results.items():
+        series = latency_timeline(result.records, bucket_s=10.0,
+                                  percentiles=(0.50,))["all"]
+        head = "  ".join(
+            f"{point['p50'] * 1000.0:6.1f}" for _t, point in series[:6])
+        print(f"  {algorithm:<12} {head}")
+
+    print("\npaper Fig. 9 reports P99: round-robin 93.0, C3 88.3, L3 68.8 ms"
+          "\n(absolute values differ in simulation; the ordering is the"
+          " reproduced shape).")
+
+
+if __name__ == "__main__":
+    main()

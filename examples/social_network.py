@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""The social-network application: deeper call chains, write fan-out.
+
+The paper evaluates on DeathStarBench's hotel-reservation app; this
+example runs the suite's larger socialNetwork graph (22 services including
+the Redis/Memcached/MongoDB stateful tiers) to show the balancers on a
+write-heavy workload with deeper chains — compose-post fans out to four
+services, then post-storage, then both timelines.
+
+Run with::
+
+    python examples/social_network.py [rps] [duration_seconds]
+"""
+
+import sys
+
+from repro.analysis.report import render_comparison
+from repro.bench.coordinator import run_social_benchmark
+from repro.bench.results import ComparisonTable
+
+
+def main() -> None:
+    rps = float(sys.argv[1]) if len(sys.argv) > 1 else 150.0
+    duration_s = float(sys.argv[2]) if len(sys.argv) > 2 else 120.0
+
+    table = ComparisonTable(
+        f"social-network at {rps:.0f} RPS, {duration_s:.0f}s measured",
+        baseline="round-robin")
+    captured = {}
+    for algorithm in ("round-robin", "c3", "l3", "p2c"):
+        print(f"running {algorithm} ...")
+        result = run_social_benchmark(
+            algorithm, rps=rps, duration_s=duration_s, seed=7)
+        captured[algorithm] = result.records
+        table.add(algorithm, p50_ms=result.p50_ms, p99_ms=result.p99_ms)
+
+    print()
+    print(table.render())
+    print()
+    print(render_comparison(captured, title="full latency spectra"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — reproduction of "L3: Latency-aware Load Balancing in Multi-Cluster
+Service Mesh" (Middleware '24).
+
+The package implements the L3 controller (EWMA/PeakEWMA filtering, the
+weighting algorithm and the rate-control algorithm from the paper) together
+with every substrate the paper's evaluation depends on: a discrete-event
+simulator (:mod:`repro.sim`), a multi-cluster service-mesh data plane
+(:mod:`repro.mesh`), a Prometheus-like telemetry pipeline
+(:mod:`repro.telemetry`), the comparison balancers (:mod:`repro.balancers`),
+synthetic equivalents of the paper's trace scenarios plus the
+DeathStarBench hotel-reservation call graph (:mod:`repro.workloads`), and
+the benchmark harness regenerating every figure (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import run_scenario_benchmark
+
+    result = run_scenario_benchmark(scenario="scenario-1", algorithm="l3",
+                                    duration_s=120.0, seed=7)
+    print(result.p99_ms, result.success_rate)
+"""
+
+from repro.bench.coordinator import (
+    BenchmarkResult,
+    ScenarioBenchConfig,
+    run_callgraph_benchmark,
+    run_hotel_benchmark,
+    run_scenario_benchmark,
+    run_social_benchmark,
+)
+from repro.core.config import L3Config
+from repro.core.controller import L3Controller, MetricSample
+from repro.core.cost import CostConfig
+from repro.core.ewma import Ewma, PeakEwma, half_life_to_beta
+from repro.core.rate_control import apply_rate_control, relative_change
+from repro.core.weighting import (
+    BackendSnapshot,
+    WeightingConfig,
+    compute_weights,
+)
+from repro.core.introspection import ControllerIntrospection
+from repro.core.leader import ControllerReplica, LeaseLock
+from repro.balancers.factory import BALANCER_NAMES, make_balancer
+from repro.workloads.scenarios import SCENARIO_NAMES, build_scenario
+from repro.workloads.traceio import load_scenario, save_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BALANCER_NAMES",
+    "BackendSnapshot",
+    "BenchmarkResult",
+    "ControllerIntrospection",
+    "ControllerReplica",
+    "CostConfig",
+    "Ewma",
+    "L3Config",
+    "L3Controller",
+    "LeaseLock",
+    "MetricSample",
+    "PeakEwma",
+    "SCENARIO_NAMES",
+    "ScenarioBenchConfig",
+    "WeightingConfig",
+    "apply_rate_control",
+    "build_scenario",
+    "compute_weights",
+    "half_life_to_beta",
+    "load_scenario",
+    "make_balancer",
+    "relative_change",
+    "run_callgraph_benchmark",
+    "run_hotel_benchmark",
+    "run_scenario_benchmark",
+    "run_social_benchmark",
+    "save_scenario",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Exact statistics over captured benchmark records (reporting path)."""
+
+from repro.analysis.percentiles import exact_percentile, percentile_summary
+from repro.analysis.stats import (
+    latency_timeline,
+    relative_decrease,
+    rps_timeline,
+    success_rate,
+)
+
+__all__ = [
+    "exact_percentile",
+    "latency_timeline",
+    "percentile_summary",
+    "relative_decrease",
+    "rps_timeline",
+    "success_rate",
+]

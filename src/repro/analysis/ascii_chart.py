@@ -1,0 +1,79 @@
+"""Plain-text charts for rendering figure data without a plotting stack.
+
+Renders time series (Figs. 1, 2, 4, 6) and bar comparisons (Figs. 8-12)
+as ASCII, so ``python -m repro figure ...`` can show the *shape* of every
+figure directly in a terminal.
+"""
+
+from __future__ import annotations
+
+
+def render_line_chart(series: dict, width: int = 72, height: int = 16,
+                      title: str = "") -> str:
+    """Plot one or more ``[(x, y), ...]`` series on a shared canvas.
+
+    Each series gets a distinct glyph; a legend maps glyphs to names.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    glyphs = "*o+x#@%&"
+    points_by_glyph = {}
+    all_x, all_y = [], []
+    for index, (name, points) in enumerate(series.items()):
+        if not points:
+            raise ValueError(f"series {name!r} is empty")
+        glyph = glyphs[index % len(glyphs)]
+        points_by_glyph[(glyph, name)] = points
+        all_x.extend(x for x, _y in points)
+        all_y.extend(y for _x, y in points)
+
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for (glyph, _name), points in points_by_glyph.items():
+        for x, y in points:
+            column = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            canvas[row][column] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_hi:.4g}"), len(f"{y_lo:.4g}"))
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = f"{y_hi:.4g}".rjust(label_width)
+        elif row_index == height - 1:
+            label = f"{y_lo:.4g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = f"{' ' * label_width} +{'-' * width}"
+    lines.append(axis)
+    x_labels = (f"{x_lo:.4g}", f"{x_hi:.4g}")
+    gap = width - len(x_labels[0]) - len(x_labels[1])
+    lines.append(f"{' ' * label_width}  {x_labels[0]}{' ' * max(gap, 1)}"
+                 f"{x_labels[1]}")
+    for (glyph, name), _points in points_by_glyph.items():
+        lines.append(f"  {glyph} = {name}")
+    return "\n".join(lines)
+
+
+def render_bar_chart(values: dict, width: int = 48, unit: str = "",
+                     title: str = "") -> str:
+    """Horizontal bars for a ``{label: value}`` comparison."""
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("bar values must be positive")
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(int(value / peak * width), 1)
+        lines.append(
+            f"  {label.ljust(label_width)}  {bar} {value:.1f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Exact percentile computation over raw latency samples.
+
+Used by the benchmark coordinator for *reporting* (the paper's coordinator
+"retrieves the request latency … of each request"). The control path uses
+the bucketed histogram estimates instead — see
+:mod:`repro.telemetry.histogram`.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def exact_percentile(values, q: float) -> float:
+    """Exact linear-interpolated percentile (numpy's default method).
+
+    Args:
+        values: a non-empty iterable of numbers.
+        q: percentile in ``[0, 1]``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile must be in [0, 1]: {q}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("cannot take a percentile of no samples")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = q * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def percentile_summary(values, percentiles=(0.50, 0.90, 0.99)) -> dict:
+    """Common percentiles of a sample set, keyed like ``"p99"``."""
+    return {
+        f"p{int(q * 100) if (q * 100).is_integer() else q * 100:g}":
+            exact_percentile(values, q)
+        for q in percentiles
+    }

@@ -1,0 +1,60 @@
+"""Human-readable latency reports (wrk2/HDR-style output).
+
+The benchmark coordinator captures every request; these helpers render the
+full percentile spectrum and side-by-side comparisons the way a wrk2 user
+would expect to read them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.percentiles import exact_percentile
+
+# The spectrum wrk2 prints by default.
+SPECTRUM = (0.50, 0.75, 0.90, 0.99, 0.999, 0.9999, 1.0)
+
+
+def latency_spectrum(records, percentiles=SPECTRUM) -> list:
+    """``[(percentile, latency_ms), ...]`` over request records."""
+    if not records:
+        raise ValueError("no records to report on")
+    latencies = sorted(r.latency_s for r in records)
+    return [
+        (q, exact_percentile(latencies, q) * 1000.0)
+        for q in percentiles
+    ]
+
+
+def render_spectrum(records, title: str = "latency spectrum") -> str:
+    """A wrk2-style percentile table for one run."""
+    lines = [title, f"  {'percentile':>10}  {'latency':>12}"]
+    for q, latency_ms in latency_spectrum(records):
+        label = f"{q * 100:.4f}".rstrip("0").rstrip(".") + "%"
+        lines.append(f"  {label:>10}  {latency_ms:>9.2f} ms")
+    lines.append(f"  {'requests':>10}  {len(list(records)):>12}")
+    return "\n".join(lines)
+
+
+def render_comparison(results: dict, title: str = "comparison") -> str:
+    """Side-by-side spectra for several runs.
+
+    Args:
+        results: label → iterable of request records (e.g. one
+            :class:`~repro.bench.coordinator.BenchmarkResult`'s records
+            per algorithm).
+    """
+    if not results:
+        raise ValueError("no results to compare")
+    spectra = {
+        label: dict(latency_spectrum(records))
+        for label, records in results.items()
+    }
+    labels = list(spectra)
+    header = f"  {'percentile':>10}" + "".join(
+        f"  {label:>14}" for label in labels)
+    lines = [title, header]
+    for q in SPECTRUM:
+        row = f"{q * 100:.4f}".rstrip("0").rstrip(".") + "%"
+        cells = "".join(
+            f"  {spectra[label][q]:>11.2f} ms" for label in labels)
+        lines.append(f"  {row:>10}{cells}")
+    return "\n".join(lines)

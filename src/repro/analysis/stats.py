@@ -1,0 +1,75 @@
+"""Aggregations over request records: success rates, timelines, deltas."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro.analysis.percentiles import exact_percentile
+
+
+def success_rate(records) -> float:
+    """Fraction of successful records; 1.0 for an empty set."""
+    records = list(records)
+    if not records:
+        return 1.0
+    return sum(1 for r in records if r.success) / len(records)
+
+
+def relative_decrease(baseline: float, value: float) -> float:
+    """How much smaller ``value`` is than ``baseline``, as a fraction.
+
+    Positive means improvement (e.g. 0.26 == a 26 % reduction, the paper's
+    headline L3-vs-round-robin number).
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive: {baseline}")
+    return (baseline - value) / baseline
+
+
+def latency_timeline(records, bucket_s: float = 10.0,
+                     percentiles=(0.50, 0.99), key=None) -> dict:
+    """Bucketed percentile series over time, optionally grouped.
+
+    Args:
+        records: request records.
+        bucket_s: time-bucket width.
+        percentiles: which percentiles to compute per bucket.
+        key: optional ``f(record) -> group`` (e.g. ``lambda r: r.backend``
+            for the paper's per-cluster Fig. 1 style plots).
+
+    Returns:
+        ``{group: [(bucket_start_s, {"p50": ..., "p99": ...}), ...]}``;
+        the single group is ``"all"`` when ``key`` is None.
+    """
+    if bucket_s <= 0:
+        raise ValueError(f"bucket width must be positive: {bucket_s}")
+    grouped: dict = defaultdict(lambda: defaultdict(list))
+    for record in records:
+        group = key(record) if key else "all"
+        bucket = math.floor(record.intended_start_s / bucket_s) * bucket_s
+        grouped[group][bucket].append(record.latency_s)
+    out: dict = {}
+    for group, buckets in grouped.items():
+        series = []
+        for bucket_start in sorted(buckets):
+            values = buckets[bucket_start]
+            point = {
+                f"p{int(q * 100)}": exact_percentile(values, q)
+                for q in percentiles
+            }
+            point["count"] = len(values)
+            series.append((bucket_start, point))
+        out[group] = series
+    return out
+
+
+def rps_timeline(records, bucket_s: float = 10.0) -> list:
+    """Offered-RPS series over time: ``[(bucket_start_s, rps), ...]``."""
+    if bucket_s <= 0:
+        raise ValueError(f"bucket width must be positive: {bucket_s}")
+    counts: dict = defaultdict(int)
+    for record in records:
+        bucket = math.floor(record.intended_start_s / bucket_s) * bucket_s
+        counts[bucket] += 1
+    return [(bucket, counts[bucket] / bucket_s) for bucket in sorted(counts)]

@@ -1,0 +1,23 @@
+"""Load-balancing algorithms: L3, the paper's comparators, and extensions."""
+
+from repro.balancers.base import Balancer
+from repro.balancers.c3 import C3Balancer, C3Config
+from repro.balancers.failover import FailoverBalancer
+from repro.balancers.l3 import L3Balancer
+from repro.balancers.p2c import P2cPeakEwmaBalancer
+from repro.balancers.round_robin import RoundRobinBalancer
+from repro.balancers.static_weights import StaticWeightBalancer
+from repro.balancers.factory import BALANCER_NAMES, make_balancer
+
+__all__ = [
+    "BALANCER_NAMES",
+    "Balancer",
+    "C3Balancer",
+    "C3Config",
+    "FailoverBalancer",
+    "L3Balancer",
+    "P2cPeakEwmaBalancer",
+    "RoundRobinBalancer",
+    "StaticWeightBalancer",
+    "make_balancer",
+]

@@ -1,0 +1,61 @@
+"""Balancer construction by name — what the benchmark harness uses."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.balancers.c3 import C3Balancer
+from repro.balancers.failover import FailoverBalancer
+from repro.balancers.l3 import L3Balancer
+from repro.balancers.p2c import P2cPeakEwmaBalancer
+from repro.balancers.round_robin import RoundRobinBalancer
+from repro.core.config import L3Config
+from repro.errors import ConfigError
+from repro.mesh.cluster import split_backend_name
+
+# Algorithm names accepted by the harness; "l3-peak" is L3 with the
+# PeakEWMA latency filter (§5.2.2's comparison); "p2c" and "failover" are
+# extensions (Linkerd's in-proxy default and the related-work locality
+# failover, respectively).
+BALANCER_NAMES = ("round-robin", "c3", "l3", "l3-peak", "p2c", "failover")
+
+
+def make_balancer(name: str, sim, service: str, backend_names,
+                  metrics_source, l3_config: L3Config | None = None,
+                  propagation_delay_s: float = 0.5,
+                  local_cluster: str | None = None):
+    """Build the named balancer wired for ``service``.
+
+    Args:
+        name: one of :data:`BALANCER_NAMES`.
+        sim: the simulator (needed by controller-based balancers).
+        service: destination service (TrafficSplit identity).
+        backend_names: the service's backend names.
+        metrics_source: the windowed metrics source (ignored by
+            per-request balancers).
+        l3_config: L3 tunables; for ``"l3-peak"`` the PeakEWMA flag is
+            forced on (and off for plain ``"l3"``).
+        propagation_delay_s: control-plane weight push latency.
+        local_cluster: the caller's cluster; required by ``"failover"``
+            (the local backend is the top preference).
+    """
+    if name == "round-robin":
+        return RoundRobinBalancer(backend_names)
+    if name == "p2c":
+        return P2cPeakEwmaBalancer(backend_names, start_time=sim.now)
+    if name == "failover":
+        ordered = sorted(
+            backend_names,
+            key=lambda n: (split_backend_name(n)[1] != local_cluster, n))
+        return FailoverBalancer(ordered)
+    if name == "c3":
+        return C3Balancer(sim, service, backend_names, metrics_source,
+                          propagation_delay_s=propagation_delay_s)
+    if name in ("l3", "l3-peak"):
+        config = l3_config or L3Config()
+        config = replace(config, use_peak_ewma=(name == "l3-peak"))
+        return L3Balancer(sim, service, backend_names, metrics_source,
+                          config=config,
+                          propagation_delay_s=propagation_delay_s)
+    raise ConfigError(
+        f"unknown balancer {name!r}; expected one of {BALANCER_NAMES}")

@@ -1,0 +1,47 @@
+"""L3 as a mesh balancer: controller + TrafficSplit glued together.
+
+This is the integration the paper's Fig. 5 shows: the L3 operator watches
+Prometheus (our :class:`~repro.telemetry.query.PromMetricsSource`), runs
+the weighting and rate-control algorithms every 5 s, and writes the result
+into the service's TrafficSplit, which the data-plane proxies sample on
+every request.
+"""
+
+from __future__ import annotations
+
+from repro.balancers.base import Balancer
+from repro.core.config import L3Config
+from repro.core.controller import L3Controller
+from repro.mesh.traffic_split import TrafficSplit
+from repro.sim.engine import Simulator
+
+
+class L3Balancer(Balancer):
+    """The paper's system: L3 controller driving a TrafficSplit."""
+
+    def __init__(self, sim: Simulator, service: str, backend_names,
+                 metrics_source, config: L3Config | None = None,
+                 propagation_delay_s: float = 0.5):
+        self.sim = sim
+        self.config = config or L3Config()
+        self.split = TrafficSplit(
+            sim, service, backend_names,
+            propagation_delay_s=propagation_delay_s)
+        self.controller = L3Controller(
+            list(backend_names), metrics_source, self.split,
+            config=self.config, start_time=sim.now)
+        self._loop = None
+
+    def pick(self, rng, now: float) -> str:
+        return self.split.pick(rng)
+
+    def start(self, sim) -> None:
+        if self._loop is not None and self._loop.is_alive:
+            return
+        self._loop = sim.spawn(
+            self.controller.run(sim), name=f"l3/{self.split.service}")
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_alive:
+            self._loop.interrupt()
+        self._loop = None

@@ -1,0 +1,24 @@
+"""Round-robin — the paper's primary baseline (Linkerd's simplest policy)."""
+
+from __future__ import annotations
+
+from repro.balancers.base import Balancer
+from repro.errors import ConfigError
+
+
+class RoundRobinBalancer(Balancer):
+    """Cycle through the backends in a fixed order, one request each."""
+
+    def __init__(self, backend_names):
+        names = list(backend_names)
+        if not names:
+            raise ConfigError("round-robin needs at least one backend")
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate backends: {names}")
+        self._names = names
+        self._index = 0
+
+    def pick(self, rng, now: float) -> str:
+        name = self._names[self._index]
+        self._index = (self._index + 1) % len(self._names)
+        return name

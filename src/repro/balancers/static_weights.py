@@ -1,0 +1,35 @@
+"""Static weighted distribution (locality-bias baseline, extension)."""
+
+from __future__ import annotations
+
+from repro.balancers.base import Balancer
+from repro.errors import ConfigError
+
+
+class StaticWeightBalancer(Balancer):
+    """Pick backends with fixed probabilities, e.g. a locality bias.
+
+    Models the locality-aware schemes related work describes (Istio
+    locality load balancing, GCP Traffic Director): a constant share of
+    traffic stays local regardless of observed performance.
+    """
+
+    def __init__(self, weights: dict[str, float]):
+        if not weights:
+            raise ConfigError("static balancer needs at least one backend")
+        for name, weight in weights.items():
+            if weight < 0:
+                raise ConfigError(f"negative weight: {name}={weight}")
+        if sum(weights.values()) <= 0:
+            raise ConfigError("at least one weight must be positive")
+        self._weights = dict(weights)
+        self._total = sum(weights.values())
+
+    def pick(self, rng, now: float) -> str:
+        threshold = rng.random() * self._total
+        running = 0.0
+        for name, weight in self._weights.items():
+            running += weight
+            if threshold < running:
+                return name
+        return next(reversed(self._weights))

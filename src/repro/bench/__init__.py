@@ -1,0 +1,18 @@
+"""The benchmark harness: coordinator, per-figure experiments, reporting."""
+
+from repro.bench.coordinator import (
+    BenchmarkResult,
+    ScenarioBenchConfig,
+    run_hotel_benchmark,
+    run_scenario_benchmark,
+)
+from repro.bench.results import ComparisonTable, format_table
+
+__all__ = [
+    "BenchmarkResult",
+    "ComparisonTable",
+    "ScenarioBenchConfig",
+    "format_table",
+    "run_hotel_benchmark",
+    "run_scenario_benchmark",
+]

@@ -1,0 +1,85 @@
+"""Result aggregation and plain-text tables for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import relative_decrease
+
+
+@dataclass
+class ComparisonTable:
+    """A paper-style comparison: one workload, several algorithms.
+
+    Rows are (algorithm, metric dict); the canonical metrics are
+    ``p99_ms``, ``p50_ms`` and ``success_rate``. Relative decreases are
+    computed against the named baseline (the paper reports L3 vs.
+    round-robin and vs. C3).
+    """
+
+    title: str
+    baseline: str = "round-robin"
+    rows: dict = field(default_factory=dict)
+
+    def add(self, algorithm: str, **metrics) -> None:
+        if algorithm in self.rows:
+            raise ValueError(f"duplicate algorithm row: {algorithm}")
+        self.rows[algorithm] = dict(metrics)
+
+    def metric(self, algorithm: str, name: str) -> float:
+        return self.rows[algorithm][name]
+
+    def decrease_vs(self, algorithm: str, other: str,
+                    metric: str = "p99_ms") -> float:
+        """Fractional reduction of ``metric`` for ``algorithm`` vs ``other``."""
+        return relative_decrease(
+            self.rows[other][metric], self.rows[algorithm][metric])
+
+    def render(self) -> str:
+        return format_table(self.title, self.rows, baseline=self.baseline)
+
+
+def format_table(title: str, rows: dict, baseline: str | None = None) -> str:
+    """Render ``{algorithm: {metric: value}}`` as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    metrics: list[str] = []
+    for row in rows.values():
+        for name in row:
+            if name not in metrics:
+                metrics.append(name)
+    headers = ["algorithm"] + metrics
+    if baseline and baseline in rows and "p99_ms" in rows[baseline]:
+        headers.append(f"vs {baseline} p99")
+    lines = [title, ""]
+    table_rows = [headers]
+    for algorithm, row in rows.items():
+        cells = [algorithm]
+        for name in metrics:
+            value = row.get(name)
+            cells.append("-" if value is None else _fmt(value))
+        if baseline and baseline in rows and "p99_ms" in rows[baseline]:
+            if algorithm == baseline or "p99_ms" not in row:
+                cells.append("-")
+            else:
+                # Signed change: -26.0% means a 26 % lower P99.
+                change = -relative_decrease(
+                    rows[baseline]["p99_ms"], row["p99_ms"])
+                cells.append(f"{change * 100:+.1f}%")
+        table_rows.append(cells)
+    widths = [
+        max(len(row[i]) for row in table_rows)
+        for i in range(len(headers))
+    ]
+    for i, row in enumerate(table_rows):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}" if abs(value) >= 10 else f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,198 @@
+"""Command-line interface: run scenarios, the hotel app, and paper figures.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --scenario scenario-1 --algorithm l3 --duration 120
+    python -m repro hotel --algorithm l3 --rps 200 --duration 120
+    python -m repro figure fig9 --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.balancers.factory import BALANCER_NAMES
+from repro.bench.coordinator import run_hotel_benchmark, run_scenario_benchmark
+from repro.workloads.scenarios import SCENARIO_NAMES
+
+FIGURES = ("fig1", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
+           "fig11", "fig12")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'L3: Latency-aware Load Balancing in "
+                    "Multi-Cluster Service Mesh' (Middleware '24)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "list", help="list available scenarios, algorithms and figures")
+
+    run = commands.add_parser(
+        "run", help="run one scenario under one balancing algorithm")
+    run.add_argument("--scenario", choices=SCENARIO_NAMES,
+                     default="scenario-1")
+    run.add_argument("--trace", metavar="FILE", default=None,
+                     help="run a scenario loaded from a JSON trace file "
+                          "instead of a built-in one")
+    run.add_argument("--algorithm", choices=BALANCER_NAMES, default="l3")
+    run.add_argument("--duration", type=float, default=120.0,
+                     help="measured seconds (default 120)")
+    run.add_argument("--seed", type=int, default=1)
+
+    export = commands.add_parser(
+        "export-trace", help="save a built-in scenario as a JSON trace")
+    export.add_argument("scenario", choices=SCENARIO_NAMES)
+    export.add_argument("path", help="output JSON file")
+
+    hotel = commands.add_parser(
+        "hotel", help="run the DeathStarBench hotel-reservation benchmark")
+    hotel.add_argument("--algorithm", choices=BALANCER_NAMES, default="l3")
+    hotel.add_argument("--rps", type=float, default=200.0)
+    hotel.add_argument("--duration", type=float, default=120.0)
+    hotel.add_argument("--seed", type=int, default=1)
+
+    figure = commands.add_parser(
+        "figure", help="regenerate one of the paper's figures")
+    figure.add_argument("name", choices=FIGURES)
+    figure.add_argument("--fast", action="store_true",
+                        help="short runs (2-minute trace prefixes)")
+
+    return parser
+
+
+def _print_result(result) -> None:
+    from repro.analysis.report import render_spectrum
+
+    print(f"{result.scenario} / {result.algorithm} (seed {result.seed}, "
+          f"{result.duration_s:.0f}s): {result.request_count} requests")
+    print(render_spectrum(result.records, title="latency spectrum"))
+    print(f"  success rate {result.success_rate * 100.0:.2f} %")
+    if result.controller_weights:
+        print(f"  final weights {result.controller_weights}")
+
+
+def _chart_bar_experiment(experiment) -> None:
+    from repro.analysis.ascii_chart import render_bar_chart
+
+    p99s = {
+        label: row["p99_ms"]
+        for label, row in experiment.table.rows.items()
+        if "p99_ms" in row
+    }
+    if p99s:
+        print()
+        print(render_bar_chart(p99s, unit=" ms", title="P99 latency"))
+
+
+def _chart_series(series: dict, pick, title: str) -> None:
+    from repro.analysis.ascii_chart import render_line_chart
+
+    chosen = {name: pts for name, pts in series.items() if pick(name)}
+    if chosen:
+        print()
+        print(render_line_chart(chosen, title=title))
+
+
+def _run_figure(name: str, fast: bool) -> None:
+    from repro.bench import experiments
+
+    duration = 120.0 if fast else 600.0
+    hotel_duration = 120.0 if fast else 300.0
+    repetitions = 1 if fast else 3
+
+    if name == "fig1":
+        experiment = experiments.fig1_2_trace_characteristics()
+        print(experiment.render())
+        _chart_series(
+            experiment.series,
+            lambda n: n.startswith("scenario-1/") and n.endswith("p99_ms"),
+            "scenario-1 per-cluster P99 (ms)")
+    elif name == "fig4":
+        experiment = experiments.fig4_rate_control_curves()
+        print(experiment.render())
+        _chart_series(experiment.series, lambda n: True,
+                      "rate-control output weight vs relative change")
+    elif name == "fig6":
+        experiment = experiments.fig6_trace_characteristics()
+        print(experiment.render())
+        _chart_series(
+            experiment.series,
+            lambda n: n.startswith("scenario-4/"),
+            "scenario-4 per-cluster P99 (ms)")
+    elif name == "fig7":
+        print(experiments.fig7_penalty_factor_sweep(
+            duration_s=duration, repetitions=min(repetitions, 2)).render())
+    elif name == "fig8":
+        experiment = experiments.fig8_ewma_vs_peakewma(
+            duration_s=duration, repetitions=repetitions)
+        print(experiment.render())
+        _chart_bar_experiment(experiment)
+    elif name == "fig9":
+        experiment = experiments.fig9_hotel_reservation(
+            duration_s=hotel_duration, repetitions=repetitions)
+        print(experiment.render())
+        _chart_bar_experiment(experiment)
+    elif name == "fig10":
+        for experiment in experiments.fig10_scenario_comparison(
+                duration_s=duration, repetitions=repetitions).values():
+            print(experiment.render())
+            _chart_bar_experiment(experiment)
+            print()
+    elif name in ("fig11", "fig12"):
+        for experiment in experiments.fig11_12_failure_scenarios(
+                duration_s=duration, repetitions=repetitions).values():
+            print(experiment.render())
+            _chart_bar_experiment(experiment)
+            print()
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("scenarios: ", ", ".join(SCENARIO_NAMES))
+        print("algorithms:", ", ".join(BALANCER_NAMES))
+        print("figures:   ", ", ".join(FIGURES))
+        return 0
+
+    if args.command == "run":
+        scenario = args.scenario
+        if args.trace is not None:
+            from repro.workloads.traceio import load_scenario
+
+            scenario = load_scenario(args.trace)
+        result = run_scenario_benchmark(
+            scenario, args.algorithm, duration_s=args.duration,
+            seed=args.seed)
+        _print_result(result)
+        return 0
+
+    if args.command == "export-trace":
+        from repro.workloads.scenarios import build_scenario
+        from repro.workloads.traceio import save_scenario
+
+        save_scenario(build_scenario(args.scenario), args.path)
+        print(f"wrote {args.scenario} to {args.path}")
+        return 0
+
+    if args.command == "hotel":
+        result = run_hotel_benchmark(
+            args.algorithm, rps=args.rps, duration_s=args.duration,
+            seed=args.seed)
+        _print_result(result)
+        return 0
+
+    if args.command == "figure":
+        _run_figure(args.name, args.fast)
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""The paper's primary contribution: the L3 load-balancing control loop.
+
+Submodules map one-to-one onto the paper's design section (§3) and
+proof-of-concept details (§4):
+
+* :mod:`repro.core.ewma` — EWMA (Eq. 1) and PeakEWMA (Eq. 2) filters.
+* :mod:`repro.core.weighting` — the weighting algorithm (Algorithm 1,
+  Eq. 3 and Eq. 4).
+* :mod:`repro.core.rate_control` — the rate-control algorithm
+  (Algorithm 2, Eq. 5).
+* :mod:`repro.core.state` — per-backend filtered metric state with the §4
+  default values and convergence-to-default behaviour.
+* :mod:`repro.core.controller` — the reconcile loop gluing a metrics
+  source to a weight sink (the simulated TrafficSplit).
+"""
+
+from repro.core.config import L3Config
+from repro.core.controller import L3Controller, MetricSample
+from repro.core.cost import CostConfig, apply_cost_bias
+from repro.core.ewma import Ewma, PeakEwma, half_life_to_beta
+from repro.core.introspection import ControllerIntrospection
+from repro.core.leader import ControllerReplica, LeaseLock
+from repro.core.rate_control import apply_rate_control, relative_change
+from repro.core.state import BackendMetricState
+from repro.core.weighting import BackendSnapshot, WeightingConfig, compute_weights
+
+__all__ = [
+    "BackendMetricState",
+    "BackendSnapshot",
+    "ControllerIntrospection",
+    "ControllerReplica",
+    "CostConfig",
+    "Ewma",
+    "L3Config",
+    "L3Controller",
+    "LeaseLock",
+    "MetricSample",
+    "PeakEwma",
+    "WeightingConfig",
+    "apply_cost_bias",
+    "apply_rate_control",
+    "compute_weights",
+    "half_life_to_beta",
+    "relative_change",
+]

@@ -1,0 +1,215 @@
+"""The L3 reconcile loop (paper §4, Fig. 5).
+
+Every ``reconcile_interval_s`` the controller:
+
+1. asks its :class:`MetricsSource` for fresh aggregated metrics of every
+   backend of the TrafficSplit (in the paper: a windowed Prometheus query);
+2. feeds them into the per-backend EWMAs, or — when a backend returned no
+   metrics for long enough — decays that backend's filters toward their
+   defaults;
+3. runs the weighting algorithm (Algorithm 1) over the filtered snapshots;
+4. runs the rate controller (Algorithm 2) using the EWMA vs. latest sample
+   of the *total* RPS;
+5. writes integer weights into its :class:`WeightSink` (an SMI
+   TrafficSplit in the paper).
+
+The controller is deliberately transport-agnostic: it never imports the
+mesh or telemetry packages, only the two small protocols below, which is
+what lets the same class drive the simulated mesh, unit tests, and the
+pure-algorithm benchmarks.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.core.config import L3Config
+from repro.core.ewma import Ewma, half_life_to_beta
+from repro.core.rate_control import apply_rate_control, relative_change
+from repro.core.state import BackendMetricState
+from repro.core.weighting import compute_weights
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One backend's aggregated data-plane metrics over the query window.
+
+    ``None`` instead of a whole sample means "no data" (the backend
+    received no traffic in the window), triggering the controller's
+    decay-toward-default path. ``latency_s=None`` within a sample means
+    traffic flowed but nothing *succeeded* in the window — the success
+    latency EWMA then simply keeps its previous value (§3.1: failure
+    latency must never pollute the success-latency signal).
+    """
+
+    latency_s: float | None
+    success_rate: float
+    rps: float
+    inflight: float
+    # Windowed mean of successful-request latency. L3 ignores it (tail
+    # percentiles are its design point); the C3 adaptation filters it, as
+    # the original C3 EWMAs raw response times.
+    mean_latency_s: float | None = None
+
+
+class MetricsSource(typing.Protocol):
+    """Where the controller gets its aggregated data-plane metrics."""
+
+    def collect(self, backend_names: typing.Sequence[str], now: float,
+                window_s: float, percentile: float,
+                ) -> dict[str, MetricSample | None]:
+        """Return a sample (or None) for every requested backend."""
+        ...  # pragma: no cover - protocol
+
+
+class WeightSink(typing.Protocol):
+    """Where the controller writes the final traffic distribution."""
+
+    def set_weights(self, weights: dict[str, int], now: float) -> None:
+        """Propagate non-negative integer weights to the data plane."""
+        ...  # pragma: no cover - protocol
+
+
+class L3Controller:
+    """The L3 operator's control loop over one TrafficSplit.
+
+    Exposes its internal state (filtered metrics, raw and rate-controlled
+    weights, the relative RPS change) after every reconcile, mirroring the
+    paper's Prometheus/OpenTelemetry introspection of the Go operator.
+    """
+
+    def __init__(self, backend_names: typing.Sequence[str],
+                 metrics_source: MetricsSource, weight_sink: WeightSink,
+                 config: L3Config | None = None, start_time: float = 0.0):
+        if not backend_names:
+            raise ValueError("L3Controller needs at least one backend")
+        if len(set(backend_names)) != len(backend_names):
+            raise ValueError(f"duplicate backend names: {backend_names}")
+        self.config = config or L3Config()
+        self.metrics_source = metrics_source
+        self.weight_sink = weight_sink
+        self.backends: dict[str, BackendMetricState] = {
+            name: BackendMetricState(name, self.config, start_time)
+            for name in backend_names
+        }
+        self.total_rps_ewma = Ewma(
+            self.config.default_rps,
+            half_life_to_beta(self.config.rps_half_life_s), start_time)
+        # Introspection of the last reconcile.
+        self.last_raw_weights: dict[str, float] = {}
+        self.last_weights: dict[str, int] = {}
+        self.last_relative_change: float = 0.0
+        self.last_total_rps: float = 0.0
+        self.reconcile_count: int = 0
+
+    def add_backend(self, name: str, now: float) -> None:
+        """Track a backend added to the TrafficSplit at runtime."""
+        if name in self.backends:
+            raise ValueError(f"backend already tracked: {name}")
+        self.backends[name] = BackendMetricState(name, self.config, now)
+
+    def remove_backend(self, name: str) -> None:
+        """Stop tracking a backend removed from the TrafficSplit."""
+        if name not in self.backends:
+            raise ValueError(f"unknown backend: {name}")
+        if len(self.backends) == 1:
+            raise ValueError("cannot remove the last backend")
+        del self.backends[name]
+
+    def reconcile(self, now: float) -> dict[str, int]:
+        """Run one full metrics → weights cycle and push to the sink."""
+        samples = self.metrics_source.collect(
+            list(self.backends), now, self.config.metrics_window_s,
+            self.config.percentile)
+
+        total_rps = 0.0
+        for name, state in self.backends.items():
+            sample = samples.get(name)
+            if sample is None:
+                if state.is_stale(now):
+                    state.decay_toward_defaults(now)
+                continue
+            state.observe(now, sample.latency_s, sample.success_rate,
+                          sample.rps, sample.inflight)
+            total_rps += sample.rps
+
+        snapshots = [state.snapshot() for state in self.backends.values()]
+        penalty_overrides = self._dynamic_penalties(now)
+        raw_weights = compute_weights(
+            snapshots, self.config.weighting,
+            penalty_overrides=penalty_overrides)
+
+        rps_ewma_before = self.total_rps_ewma.value
+        self.total_rps_ewma.observe(total_rps, now)
+        if self.config.rate_control_enabled:
+            adjusted = apply_rate_control(
+                raw_weights, rps_ewma_before, total_rps,
+                min_weight=self.config.weighting.min_weight)
+            self.last_relative_change = relative_change(
+                rps_ewma_before, total_rps)
+        else:
+            adjusted = dict(raw_weights)
+            self.last_relative_change = 0.0
+
+        if self.config.cost is not None:
+            from repro.core.cost import apply_cost_bias
+
+            adjusted = apply_cost_bias(
+                adjusted, self.config.cost,
+                min_weight=self.config.weighting.min_weight)
+
+        # TrafficSplit weights are non-negative integers (SMI spec); round
+        # half-up and keep at least 1 so no backend goes dark.
+        weights = {
+            name: max(int(round(weight)), 1)
+            for name, weight in adjusted.items()
+        }
+        self.weight_sink.set_weights(weights, now)
+
+        self.last_raw_weights = raw_weights
+        self.last_weights = weights
+        self.last_total_rps = total_rps
+        self.reconcile_count += 1
+        return weights
+
+    def _dynamic_penalties(self, now: float) -> dict | None:
+        """Per-backend penalty factors from observed failure latency.
+
+        Paper §7 future work: "The continuous feedback about the response
+        time of unsuccessful requests could be used" to set P per
+        workload. When the metrics source can report a windowed percentile
+        of failed-request latency, each backend's penalty tracks it
+        through an EWMA; without failure data the filter holds (and
+        started at the static penalty).
+        """
+        if not self.config.dynamic_penalty:
+            return None
+        reader = getattr(self.metrics_source, "failure_latency_quantile",
+                         None)
+        if reader is None:
+            return None
+        penalties = {}
+        for name, state in self.backends.items():
+            observed = reader(name, now, self.config.metrics_window_s,
+                              self.config.dynamic_penalty_percentile)
+            if observed is not None:
+                state.failure_latency.observe(observed, now)
+            penalties[name] = state.failure_latency.value
+        return penalties
+
+    def run(self, sim):
+        """Generator process: reconcile every ``reconcile_interval_s``.
+
+        Spawn with ``sim.spawn(controller.run(sim))`` to drive the loop
+        inside a :class:`~repro.sim.engine.Simulator` forever (interrupt to
+        stop).
+        """
+        from repro.errors import Interrupted  # local: avoid cycle at import
+
+        try:
+            while True:
+                yield sim.timeout(self.config.reconcile_interval_s)
+                self.reconcile(sim.now)
+        except Interrupted:
+            return

@@ -1,0 +1,73 @@
+"""Cost-aware weighting (paper §6/§7 extension).
+
+Public clouds charge for cross-zone and cross-region data transfer while
+intra-cluster traffic is free; the paper notes L3 "lacks awareness of the
+network transfer costs" and names it future work. This extension biases
+the final weights against expensive backends::
+
+    w'_b = w_b / (1 + cost_weight * egress_cost(source, backend_cluster))
+
+``cost_weight`` trades latency for money: 0 reproduces the paper's L3;
+large values approach pure locality routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CostConfig:
+    """Cross-cluster transfer pricing as seen from one source cluster.
+
+    Attributes:
+        source_cluster: the cluster this L3 instance runs in.
+        egress_cost: cluster name → relative egress cost of sending a
+            request there (same-cluster traffic should map to 0.0;
+            unlisted clusters use ``default_cost``).
+        default_cost: cost for clusters not listed.
+        cost_weight: strength of the bias (0 disables).
+    """
+
+    source_cluster: str
+    egress_cost: dict = field(default_factory=dict)
+    default_cost: float = 1.0
+    cost_weight: float = 0.5
+
+    def __post_init__(self):
+        if not self.source_cluster:
+            raise ConfigError("source cluster must be non-empty")
+        if self.default_cost < 0:
+            raise ConfigError(f"default cost must be >= 0: {self.default_cost}")
+        if self.cost_weight < 0:
+            raise ConfigError(f"cost weight must be >= 0: {self.cost_weight}")
+        for cluster, cost in self.egress_cost.items():
+            if cost < 0:
+                raise ConfigError(f"negative cost for {cluster}: {cost}")
+
+    def cost_to(self, cluster: str) -> float:
+        """Relative egress cost of routing to ``cluster``."""
+        if cluster == self.source_cluster:
+            return 0.0
+        return self.egress_cost.get(cluster, self.default_cost)
+
+
+def apply_cost_bias(weights: dict, config: CostConfig,
+                    min_weight: float = 1.0) -> dict:
+    """Scale weights down by transfer cost; input is not mutated.
+
+    Backend names are the canonical ``service/cluster`` form; the cluster
+    suffix decides the cost.
+    """
+    from repro.mesh.cluster import split_backend_name
+
+    if config.cost_weight == 0.0:
+        return dict(weights)
+    out = {}
+    for name, weight in weights.items():
+        _service, cluster = split_backend_name(name)
+        bias = 1.0 + config.cost_weight * config.cost_to(cluster)
+        out[name] = max(weight / bias, min_weight)
+    return out

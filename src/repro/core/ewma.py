@@ -1,0 +1,117 @@
+"""Time-decayed moving-average filters (paper §3.1, Eq. 1 and Eq. 2).
+
+The EWMA blends a new sample ``Y_now`` with the previous filtered value
+``E_prev``::
+
+    E_now = Y_now * (1 - exp(-dt / beta)) + E_prev * exp(-dt / beta)
+
+where ``dt`` is the wall-clock gap between samples and ``beta`` the decay
+coefficient. The PeakEWMA variant (from Twitter's Finagle) additionally
+*jumps* straight to any sample above the current value — it "reacts quickly
+to sample spikes and recovers cautiously".
+
+The paper configures ``beta`` through half-lives (§4): 5 s for latency and
+in-flight EWMAs, 10 s for success-rate and RPS EWMAs; use
+:func:`half_life_to_beta` for the conversion.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+_LN2 = math.log(2.0)
+
+
+def half_life_to_beta(half_life_s: float) -> float:
+    """Convert a half-life to the Eq. 1 decay coefficient.
+
+    After ``half_life_s`` seconds, the weight of an old value must be
+    exactly one half: ``exp(-h / beta) = 1/2`` gives ``beta = h / ln 2``.
+    """
+    if half_life_s <= 0:
+        raise ConfigError(f"half-life must be positive: {half_life_s}")
+    return half_life_s / _LN2
+
+
+class Ewma:
+    """Eq. 1 EWMA with the paper's default-value semantics.
+
+    The filter starts at the default value ``lambda`` (§4: 5 s for latency,
+    100 % for success rate, 0 for RPS) rather than undefined, so a brand-new
+    backend cannot be flooded before a meaningful baseline exists.
+
+    Args:
+        default: initial/neutral value (the paper's λ).
+        beta: decay coefficient (use :func:`half_life_to_beta`).
+        start_time: simulated time at which the filter comes alive.
+    """
+
+    def __init__(self, default: float, beta: float, start_time: float = 0.0):
+        if beta <= 0:
+            raise ConfigError(f"beta must be positive: {beta}")
+        self.default = float(default)
+        self.beta = float(beta)
+        self._value = float(default)
+        self._last_update = float(start_time)
+
+    @property
+    def value(self) -> float:
+        """The current filtered value."""
+        return self._value
+
+    @property
+    def last_update(self) -> float:
+        """Timestamp of the most recent observation or decay step."""
+        return self._last_update
+
+    def _blend(self, sample: float, now: float) -> float:
+        dt = now - self._last_update
+        if dt < 0:
+            raise ValueError(
+                f"samples must be time-ordered: {now} < {self._last_update}")
+        decay = math.exp(-dt / self.beta)
+        return sample * (1.0 - decay) + self._value * decay
+
+    def observe(self, sample: float, now: float) -> float:
+        """Incorporate ``sample`` taken at time ``now``; returns new value."""
+        self._value = self._blend(float(sample), now)
+        self._last_update = now
+        return self._value
+
+    def decay_toward_default(self, now: float, fraction: float = 0.1) -> float:
+        """Move a ``fraction`` of the gap back toward the default value.
+
+        §4: when no metrics are retrievable (at least 10 s without traffic)
+        the EWMAs "start converging toward the initial value in small
+        increments until new samples come in or the initial state is
+        reached".
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigError(f"fraction must be in (0, 1]: {fraction}")
+        self._value += (self.default - self._value) * fraction
+        self._last_update = now
+        return self._value
+
+    def reset(self, now: float) -> None:
+        """Return to the pristine default state."""
+        self._value = self.default
+        self._last_update = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} value={self._value:.6g} "
+                f"default={self.default:.6g} beta={self.beta:.3f}>")
+
+
+class PeakEwma(Ewma):
+    """Eq. 2 PeakEWMA: jump to peaks, decay like Eq. 1 otherwise."""
+
+    def observe(self, sample: float, now: float) -> float:
+        sample = float(sample)
+        if sample > self._value:
+            self._value = sample
+        else:
+            self._value = self._blend(sample, now)
+        self._last_update = now
+        return self._value

@@ -1,0 +1,33 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency was detected inside the discrete-event simulator."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class MeshError(ReproError):
+    """The service-mesh model was used incorrectly (unknown service, etc.)."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry query could not be answered."""
+
+
+class Interrupted(ReproError):
+    """Raised inside a simulation process that has been interrupted.
+
+    Attributes:
+        cause: the value passed to :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause

@@ -1,0 +1,29 @@
+"""The multi-cluster service-mesh data plane.
+
+Models the paper's test environment (§5.1): multiple Kubernetes clusters
+joined by a multi-cluster mesh, sidecar proxies recording data-plane
+metrics, WAN links with configurable (and time-varying) delay, and SMI
+TrafficSplit objects steering traffic between per-cluster backends.
+"""
+
+from repro.mesh.cluster import Cluster
+from repro.mesh.mesh import ServiceMesh
+from repro.mesh.network import NetworkModel, WanLink
+from repro.mesh.proxy import ClientProxy
+from repro.mesh.replica import Replica
+from repro.mesh.request import RequestRecord
+from repro.mesh.service import Backend, ServiceDeployment
+from repro.mesh.traffic_split import TrafficSplit
+
+__all__ = [
+    "Backend",
+    "ClientProxy",
+    "Cluster",
+    "NetworkModel",
+    "Replica",
+    "RequestRecord",
+    "ServiceDeployment",
+    "ServiceMesh",
+    "TrafficSplit",
+    "WanLink",
+]

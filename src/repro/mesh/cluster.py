@@ -1,0 +1,35 @@
+"""Cluster naming and membership."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Cluster:
+    """One Kubernetes cluster of the multi-cluster mesh.
+
+    Attributes:
+        name: cluster identifier (e.g. ``"cluster-1"``).
+        region: informational region label (e.g. ``"eu-central-1"``).
+    """
+
+    name: str
+    region: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("cluster name must be non-empty")
+
+
+def backend_name(service: str, cluster: str) -> str:
+    """Canonical name of a service's per-cluster deployment."""
+    return f"{service}/{cluster}"
+
+
+def split_backend_name(backend: str) -> tuple[str, str]:
+    """Inverse of :func:`backend_name`."""
+    service, _sep, cluster = backend.rpartition("/")
+    if not service or not cluster:
+        raise ValueError(f"not a backend name: {backend!r}")
+    return service, cluster

@@ -1,0 +1,193 @@
+"""Wiring of clusters, services, network and proxies into one mesh."""
+
+from __future__ import annotations
+
+from repro.balancers.base import Balancer
+from repro.errors import MeshError
+from repro.mesh.cluster import Cluster
+from repro.mesh.network import NetworkModel, WanLink
+from repro.mesh.proxy import ClientProxy
+from repro.mesh.service import Backend, ServiceDeployment
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.workloads.profiles import BackendProfile
+
+
+class ServiceMesh:
+    """The multi-cluster service mesh: topology plus deployed services.
+
+    Typical construction::
+
+        sim = Simulator()
+        rng = RngRegistry(seed=7)
+        mesh = ServiceMesh(sim, rng, clusters=["cluster-1", "cluster-2",
+                                               "cluster-3"])
+        mesh.deploy_service("api", profiles={...}, replicas=3)
+        proxy = mesh.client_proxy("cluster-1", "api", balancer)
+    """
+
+    def __init__(self, sim: Simulator, rng_registry: RngRegistry, clusters,
+                 wan_link: WanLink | None = None):
+        self.sim = sim
+        self.rng = rng_registry
+        self.clusters: dict[str, Cluster] = {}
+        for entry in clusters:
+            cluster = entry if isinstance(entry, Cluster) else Cluster(entry)
+            if cluster.name in self.clusters:
+                raise MeshError(f"duplicate cluster: {cluster.name}")
+            self.clusters[cluster.name] = cluster
+        self.network = NetworkModel(list(self.clusters), default_wan=wan_link)
+        self._deployments: dict[str, ServiceDeployment] = {}
+        self._proxies: list[ClientProxy] = []
+
+    # ------------------------------------------------------------------ #
+    # Deployment
+    # ------------------------------------------------------------------ #
+
+    def deploy_service(self, service: str,
+                       profiles: dict[str, BackendProfile],
+                       replicas: int = 3,
+                       replica_capacity: int = 64) -> ServiceDeployment:
+        """Deploy ``service`` with one backend per cluster in ``profiles``.
+
+        Args:
+            service: logical service name.
+            profiles: cluster name → that backend's behaviour profile.
+            replicas: replicas per backend (paper: 3 per cluster).
+            replica_capacity: concurrent requests per replica.
+        """
+        if service in self._deployments:
+            raise MeshError(f"service already deployed: {service}")
+        if not profiles:
+            raise MeshError(f"service {service!r} needs at least one backend")
+        deployment = ServiceDeployment(service)
+        for cluster_name, profile in profiles.items():
+            if cluster_name not in self.clusters:
+                raise MeshError(f"unknown cluster: {cluster_name!r}")
+            deployment.add_backend(Backend(
+                self.sim, service, cluster_name, profile, self.rng,
+                replicas=replicas, replica_capacity=replica_capacity))
+        self._deployments[service] = deployment
+        return deployment
+
+    def deployment(self, service: str) -> ServiceDeployment:
+        found = self._deployments.get(service)
+        if found is None:
+            raise MeshError(f"unknown service: {service!r}")
+        return found
+
+    def services(self) -> list[str]:
+        return sorted(self._deployments)
+
+    # ------------------------------------------------------------------ #
+    # Proxies
+    # ------------------------------------------------------------------ #
+
+    def client_proxy(self, source_cluster: str, service: str,
+                     balancer: Balancer,
+                     forward_overhead_s: float = 0.0002,
+                     max_retries: int = 0,
+                     retry_backoff_s: float = 0.0) -> ClientProxy:
+        """Create the sidecar proxy routing ``service`` traffic from a cluster."""
+        if source_cluster not in self.clusters:
+            raise MeshError(f"unknown cluster: {source_cluster!r}")
+        proxy = ClientProxy(
+            self, source_cluster, service, balancer,
+            self.rng.stream(f"proxy/{source_cluster}/{service}"),
+            forward_overhead_s=forward_overhead_s,
+            max_retries=max_retries, retry_backoff_s=retry_backoff_s)
+        self._proxies.append(proxy)
+        return proxy
+
+    def proxies(self) -> list[ClientProxy]:
+        return list(self._proxies)
+
+    def register_all_telemetry(self, scraper) -> None:
+        """Register every proxy's per-backend telemetry with a scraper.
+
+        Scrape names are scoped by source cluster, so each (source,
+        backend) pair is normally a distinct target. Should two proxies
+        ever share a scrape name (e.g. custom unscoped telemetry), their
+        bundles are aggregated into one target via a summing adapter.
+        """
+        by_name: dict[str, list] = {}
+        for proxy in self._proxies:
+            for telemetry in proxy.telemetry.values():
+                by_name.setdefault(telemetry.scrape_name, []).append(telemetry)
+        for name, bundles in by_name.items():
+            if len(bundles) == 1:
+                scraper.register(bundles[0])
+            else:
+                scraper.register(_AggregatedTelemetry(name, bundles))
+        self.register_server_telemetry(scraper)
+
+    def register_server_telemetry(self, scraper) -> None:
+        """Expose every backend's replica queue occupancy to the scraper.
+
+        This is the server-side feedback channel (C3-style): one unscoped
+        gauge per backend counting requests executing or queued across its
+        replicas.
+        """
+        from repro.telemetry.scraper import SERVER_QUEUE
+
+        for service in self.services():
+            deployment = self._deployments[service]
+            for backend in deployment.backends.values():
+                scraper.register_gauge(
+                    f"server|{backend.name}", SERVER_QUEUE,
+                    lambda b=backend: b.inflight)
+
+
+class _AggregatedTelemetry:
+    """Sums several proxies' telemetry for one backend at scrape time.
+
+    Duck-types :class:`~repro.telemetry.metrics.BackendTelemetry` closely
+    enough for the scraper (counter values, histogram cumulative counts,
+    gauge value).
+    """
+
+    def __init__(self, backend_name: str, bundles):
+        self.backend_name = backend_name
+        self.scrape_name = backend_name
+        self._bundles = list(bundles)
+        self.requests_total = _SumCounter(
+            [b.requests_total for b in bundles])
+        self.failures_total = _SumCounter(
+            [b.failures_total for b in bundles])
+        self.success_latency = _SumHistogram(
+            [b.success_latency for b in bundles])
+        self.failure_latency = _SumHistogram(
+            [b.failure_latency for b in bundles])
+        self.inflight = _SumCounter([b.inflight for b in bundles])
+
+
+class _SumCounter:
+    def __init__(self, parts):
+        self._parts = parts
+
+    @property
+    def value(self) -> float:
+        return sum(part.value for part in self._parts)
+
+
+class _SumHistogram:
+    def __init__(self, parts):
+        self._parts = parts
+
+    @property
+    def sum(self) -> float:
+        return sum(part.sum for part in self._parts)
+
+    @property
+    def count(self) -> int:
+        return sum(part.count for part in self._parts)
+
+    def cumulative_counts(self) -> tuple:
+        totals = None
+        for part in self._parts:
+            counts = part.cumulative_counts()
+            if totals is None:
+                totals = list(counts)
+            else:
+                totals = [a + b for a, b in zip(totals, counts)]
+        return tuple(totals or ())

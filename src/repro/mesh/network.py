@@ -1,0 +1,124 @@
+"""WAN latency model between clusters.
+
+The paper's clusters (Frankfurt/Paris/Milan) see ~10 ms inter-cluster
+delay; §2.1 stresses that WAN latency varies over time (shifting routing
+paths, transient congestion). A :class:`WanLink` therefore combines a base
+one-way delay, multiplicative log-normal jitter, a slow sinusoidal drift
+and rare spike episodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.rng import Z_P99, sample_lognormal
+
+
+@dataclass(frozen=True)
+class WanLink:
+    """One-way delay model for a directed cluster pair.
+
+    Attributes:
+        base_delay_s: median one-way delay.
+        jitter_p99_ratio: P99/median ratio of the per-packet log-normal
+            jitter (1.0 disables jitter).
+        drift_amplitude: fraction of the base delay added/removed by a slow
+            sinusoidal drift (models route changes; 0 disables).
+        drift_period_s: period of the drift sinusoid.
+        spike_prob: per-request probability of hitting a transient spike.
+        spike_multiplier: delay multiplier during a spike.
+    """
+
+    base_delay_s: float
+    jitter_p99_ratio: float = 1.5
+    drift_amplitude: float = 0.1
+    drift_period_s: float = 120.0
+    spike_prob: float = 0.001
+    spike_multiplier: float = 5.0
+
+    def __post_init__(self):
+        if self.base_delay_s < 0:
+            raise ConfigError(f"negative base delay: {self.base_delay_s}")
+        if self.jitter_p99_ratio < 1.0:
+            raise ConfigError(
+                f"jitter P99 ratio must be >= 1: {self.jitter_p99_ratio}")
+        if not 0.0 <= self.drift_amplitude < 1.0:
+            raise ConfigError(
+                f"drift amplitude must be in [0, 1): {self.drift_amplitude}")
+        if self.drift_period_s <= 0:
+            raise ConfigError(f"drift period must be > 0: {self.drift_period_s}")
+        if not 0.0 <= self.spike_prob <= 1.0:
+            raise ConfigError(f"spike prob must be in [0, 1]: {self.spike_prob}")
+        if self.spike_multiplier < 1.0:
+            raise ConfigError(
+                f"spike multiplier must be >= 1: {self.spike_multiplier}")
+
+    def delay(self, rng, now: float) -> float:
+        """Sample the one-way delay for a request sent at ``now``."""
+        if self.base_delay_s == 0.0:
+            return 0.0
+        drift = 1.0 + self.drift_amplitude * math.sin(
+            2.0 * math.pi * now / self.drift_period_s)
+        median = self.base_delay_s * drift
+        if self.jitter_p99_ratio > 1.0:
+            delay = sample_lognormal(
+                rng, median, median * self.jitter_p99_ratio, Z_P99)
+        else:
+            delay = median
+        if self.spike_prob > 0.0 and rng.random() < self.spike_prob:
+            delay *= self.spike_multiplier
+        return delay
+
+
+# In-cluster hop: pod-to-pod within one Kubernetes cluster.
+LOCAL_LINK = WanLink(base_delay_s=0.0002, jitter_p99_ratio=2.0,
+                     drift_amplitude=0.0, spike_prob=0.0)
+
+
+class NetworkModel:
+    """All pairwise delays of the multi-cluster topology."""
+
+    def __init__(self, clusters, default_wan: WanLink | None = None,
+                 local_link: WanLink = LOCAL_LINK):
+        """Create a full mesh over ``clusters``.
+
+        Args:
+            clusters: iterable of cluster names.
+            default_wan: link used for every inter-cluster pair unless
+                overridden; defaults to the paper's ~10 ms one-way delay.
+            local_link: link used within a cluster.
+        """
+        names = list(clusters)
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate cluster names: {names}")
+        if default_wan is None:
+            default_wan = WanLink(base_delay_s=0.010)
+        self.clusters = names
+        self._links: dict[tuple[str, str], WanLink] = {}
+        for src in names:
+            for dst in names:
+                self._links[(src, dst)] = (
+                    local_link if src == dst else default_wan)
+
+    def set_link(self, src: str, dst: str, link: WanLink,
+                 symmetric: bool = True) -> None:
+        """Override the link for a cluster pair."""
+        self._require(src), self._require(dst)
+        self._links[(src, dst)] = link
+        if symmetric:
+            self._links[(dst, src)] = link
+
+    def link(self, src: str, dst: str) -> WanLink:
+        """The link used from ``src`` to ``dst``."""
+        self._require(src), self._require(dst)
+        return self._links[(src, dst)]
+
+    def delay(self, src: str, dst: str, rng, now: float) -> float:
+        """Sample the one-way delay from ``src`` to ``dst`` at ``now``."""
+        return self.link(src, dst).delay(rng, now)
+
+    def _require(self, name: str) -> None:
+        if name not in self.clusters:
+            raise ConfigError(f"unknown cluster: {name!r}")

@@ -1,0 +1,146 @@
+"""The client-side sidecar proxy.
+
+Every outgoing request of a client (or upstream microservice) passes
+through its cluster-local proxy, which (1) asks the configured balancer for
+a backend, (2) adds the proxy's own small forwarding overhead, (3) crosses
+the network to the chosen backend's cluster, (4) waits for the replica, and
+(5) records data-plane telemetry on completion — exactly the vantage point
+from which L3's metrics are collected (latency as perceived by the
+*client-side* proxy, including WAN and queueing).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.balancers.base import Balancer
+from repro.errors import MeshError
+from repro.mesh.cluster import split_backend_name
+from repro.mesh.request import RequestRecord
+from repro.telemetry.metrics import BackendTelemetry
+
+
+class ClientProxy:
+    """Routes one service's outgoing traffic from one source cluster."""
+
+    def __init__(self, mesh, source_cluster: str, service: str,
+                 balancer: Balancer, rng,
+                 forward_overhead_s: float = 0.0002,
+                 max_retries: int = 0, retry_backoff_s: float = 0.0):
+        """Args:
+            mesh: the owning :class:`~repro.mesh.mesh.ServiceMesh`.
+            source_cluster: cluster this proxy lives in.
+            service: the destination service this proxy routes to.
+            balancer: backend-selection policy.
+            rng: private random stream (weighted picks, network jitter).
+            forward_overhead_s: per-request proxy forwarding cost.
+            max_retries: client retries on failed responses (0 reproduces
+                the paper's benchmarks, which do not retry — §5.2.1; the
+                retry model is what Eq. 3's penalty factor assumes).
+            retry_backoff_s: fixed delay before each retry attempt.
+        """
+        if max_retries < 0:
+            raise MeshError(f"max retries must be >= 0: {max_retries}")
+        if retry_backoff_s < 0:
+            raise MeshError(f"retry backoff must be >= 0: {retry_backoff_s}")
+        self.mesh = mesh
+        self.source_cluster = source_cluster
+        self.service = service
+        self.balancer = balancer
+        self.rng = rng
+        self.forward_overhead_s = forward_overhead_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self._request_ids = itertools.count()
+        deployment = mesh.deployment(service)
+        # Telemetry is scoped by source cluster: each cluster's controller
+        # must see latency from its own vantage point (a remote backend is
+        # slow *from here*, fast from its own cluster).
+        self.telemetry: dict[str, BackendTelemetry] = {
+            name: BackendTelemetry(
+                name, scrape_name=f"{source_cluster}|{name}")
+            for name in deployment.backend_names()
+        }
+
+    def dispatch(self, intended_start_s: float | None = None,
+                 body_factory=None):
+        """Process one request end to end; returns a :class:`RequestRecord`.
+
+        This is a simulation generator — drive it with ``sim.spawn`` or
+        ``yield from`` inside another process.
+
+        Args:
+            intended_start_s: open-loop schedule time latency is measured
+                from (defaults to now).
+            body_factory: optional ``f(target_cluster) -> generator
+                function`` supplying the service body executed on the
+                chosen replica (call-graph applications use this to run
+                downstream calls from the backend's own cluster).
+        """
+        sim = self.mesh.sim
+        start = sim.now
+        if intended_start_s is None:
+            intended_start_s = start
+
+        attempts = 0
+        while True:
+            attempts += 1
+            success, backend_name = yield from self._attempt(body_factory)
+            if success or attempts > self.max_retries:
+                break
+            if self.retry_backoff_s > 0:
+                yield sim.timeout(self.retry_backoff_s)
+
+        return RequestRecord(
+            request_id=next(self._request_ids),
+            service=self.service,
+            source_cluster=self.source_cluster,
+            backend=backend_name,
+            intended_start_s=intended_start_s,
+            start_s=start,
+            end_s=sim.now,
+            success=success,
+            attempts=attempts,
+        )
+
+    def _attempt(self, body_factory):
+        """One request attempt; returns ``(success, backend_name)``.
+
+        Each attempt is a fresh balancer decision and is individually
+        recorded in the data-plane telemetry — exactly what a per-try
+        proxy sees, and what makes retried failures visible to L3's
+        success-rate signal.
+        """
+        sim = self.mesh.sim
+        start = sim.now
+        backend_name = self.balancer.pick(self.rng, start)
+        telemetry = self.telemetry.get(backend_name)
+        if telemetry is None:
+            raise MeshError(
+                f"balancer picked unknown backend {backend_name!r} "
+                f"for service {self.service!r}")
+        _service, target_cluster = split_backend_name(backend_name)
+        backend = self.mesh.deployment(self.service).backend_in(target_cluster)
+
+        telemetry.on_request_sent()
+        self.balancer.on_request_sent(backend_name, start)
+
+        if self.forward_overhead_s > 0:
+            yield sim.timeout(self.forward_overhead_s)
+        outbound = self.mesh.network.delay(
+            self.source_cluster, target_cluster, self.rng, sim.now)
+        if outbound > 0:
+            yield sim.timeout(outbound)
+
+        body = body_factory(target_cluster) if body_factory else None
+        success = yield from backend.handle(body)
+
+        inbound = self.mesh.network.delay(
+            target_cluster, self.source_cluster, self.rng, sim.now)
+        if inbound > 0:
+            yield sim.timeout(inbound)
+
+        latency = sim.now - start
+        telemetry.on_response(latency, success)
+        self.balancer.on_response(backend_name, sim.now, latency, success)
+        return success, backend_name

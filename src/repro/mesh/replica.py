@@ -1,0 +1,80 @@
+"""A single microservice replica: bounded concurrency plus a service-time
+profile.
+
+The replica is where load becomes latency: it executes at most ``capacity``
+requests concurrently and queues the rest (FIFO), so a backend that
+receives more traffic than it can absorb develops queueing delay — the
+effect both Algorithm 1's in-flight term and Algorithm 2's rate controller
+exist to manage.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.sim.engine import Simulator
+from repro.sim.resources import Server
+from repro.workloads.profiles import BackendProfile
+
+
+class Replica:
+    """One replica (pod) of a service deployment in some cluster."""
+
+    def __init__(self, sim: Simulator, name: str, profile: BackendProfile,
+                 rng, capacity: int = 64):
+        """Args:
+            sim: owning simulator.
+            name: replica identifier (e.g. ``"api/cluster-1/0"``).
+            profile: time-varying service-time/failure behaviour.
+            rng: this replica's private random stream.
+            capacity: concurrent requests executed without queueing.
+        """
+        if capacity < 1:
+            raise ConfigError(f"replica capacity must be >= 1: {capacity}")
+        self.sim = sim
+        self.name = name
+        self.profile = profile
+        self.rng = rng
+        self.server = Server(sim, capacity)
+        self.completed = 0
+        self.failed = 0
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently executing or queued on this replica."""
+        return self.server.in_use + self.server.queue_len
+
+    def handle(self, body=None):
+        """Process one request; yields until done, returns success bool.
+
+        The failure decision is drawn when execution *starts* (a failing
+        service fails whatever it touches, whether or not the request
+        queued first). Failed requests occupy the replica for the
+        profile's failure latency — errors are typically fast.
+
+        Args:
+            body: optional generator *function* executed after the
+                replica's own compute time while still holding the server
+                slot (thread-per-request semantics); used by call-graph
+                applications to invoke downstream services. Its boolean
+                return value is ANDed into the request's success.
+        """
+        yield self.server.acquire()
+        try:
+            now = self.sim.now
+            if self.profile.sample_failure(self.rng, now):
+                yield self.sim.timeout(self.profile.failure_latency_s)
+                self.failed += 1
+                return False
+            service_time = self.profile.sample_service_time(self.rng, now)
+            yield self.sim.timeout(service_time)
+            success = True
+            if body is not None:
+                body_ok = yield from body()
+                success = bool(body_ok) if body_ok is not None else True
+            if success:
+                self.completed += 1
+            else:
+                self.failed += 1
+            return success
+        finally:
+            self.server.release()

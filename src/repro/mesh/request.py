@@ -1,0 +1,45 @@
+"""Request bookkeeping records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """The outcome of one completed request, as the benchmark client sees it.
+
+    Attributes:
+        request_id: monotonically increasing id within one run.
+        service: logical service the request targeted.
+        source_cluster: cluster the client proxy lives in.
+        backend: the backend (service/cluster deployment) that served it.
+        intended_start_s: when the open-loop schedule *wanted* to send the
+            request (latency is measured from here, correcting for
+            coordinated omission as wrk2 does).
+        start_s: when the request actually left the client.
+        end_s: when the response (or failure) arrived back.
+        success: whether the response was successful.
+    """
+
+    request_id: int
+    service: str
+    source_cluster: str
+    backend: str
+    intended_start_s: float
+    start_s: float
+    end_s: float
+    success: bool
+    # Number of attempts the client made (1 = no retries). The paper's
+    # benchmarks do not retry (§5.2.1); the retry extension sets this.
+    attempts: int = 1
+
+    @property
+    def latency_s(self) -> float:
+        """Client-perceived latency, measured from the intended start."""
+        return self.end_s - self.intended_start_s
+
+    @property
+    def service_latency_s(self) -> float:
+        """Latency measured from the actual send time."""
+        return self.end_s - self.start_s

@@ -1,0 +1,100 @@
+"""Services and their per-cluster deployments (backends).
+
+A *service* is a logical name; a *backend* is its deployment in one
+cluster (the unit between which TrafficSplits shift traffic). Within a
+backend, the in-cluster balancer distributes across replicas round-robin —
+the multi-cluster algorithms under study only decide *which cluster*.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError, MeshError
+from repro.mesh.cluster import backend_name
+from repro.mesh.replica import Replica
+from repro.sim.engine import Simulator
+from repro.workloads.profiles import BackendProfile
+
+
+class Backend:
+    """A service's deployment in one cluster: a set of replicas."""
+
+    def __init__(self, sim: Simulator, service: str, cluster: str,
+                 profile: BackendProfile, rng_registry,
+                 replicas: int = 3, replica_capacity: int = 64):
+        if replicas < 1:
+            raise ConfigError(f"backend needs >= 1 replicas: {replicas}")
+        self.sim = sim
+        self.service = service
+        self.cluster = cluster
+        self.name = backend_name(service, cluster)
+        self.profile = profile
+        self._rng_registry = rng_registry
+        self._replica_capacity = replica_capacity
+        self._next_replica_id = 0
+        self._rr_index = 0
+        self.replicas: list[Replica] = []
+        for _ in range(replicas):
+            self.add_replica()
+
+    def add_replica(self) -> Replica:
+        """Scale up by one replica (used by the autoscaler extension)."""
+        replica_id = self._next_replica_id
+        self._next_replica_id += 1
+        replica = Replica(
+            self.sim, f"{self.name}/{replica_id}", self.profile,
+            self._rng_registry.stream(f"replica/{self.name}/{replica_id}"),
+            capacity=self._replica_capacity)
+        self.replicas.append(replica)
+        return replica
+
+    def remove_replica(self) -> None:
+        """Scale down by one replica; the last replica never goes away."""
+        if len(self.replicas) <= 1:
+            raise MeshError(f"cannot remove last replica of {self.name}")
+        self.replicas.pop()
+
+    def pick_replica(self) -> Replica:
+        """In-cluster round-robin replica choice."""
+        replica = self.replicas[self._rr_index % len(self.replicas)]
+        self._rr_index += 1
+        return replica
+
+    @property
+    def inflight(self) -> int:
+        """Requests executing or queued across all replicas."""
+        return sum(replica.inflight for replica in self.replicas)
+
+    def handle(self, body=None):
+        """Serve one request on the next replica; returns success bool."""
+        replica = self.pick_replica()
+        success = yield from replica.handle(body)
+        return success
+
+
+class ServiceDeployment:
+    """A service with one backend per cluster."""
+
+    def __init__(self, service: str):
+        self.service = service
+        self.backends: dict[str, Backend] = {}
+
+    def add_backend(self, backend: Backend) -> None:
+        """Attach a per-cluster backend; one backend per cluster."""
+        if backend.service != self.service:
+            raise MeshError(
+                f"backend {backend.name} does not belong to {self.service}")
+        if backend.cluster in self.backends:
+            raise MeshError(f"duplicate backend cluster: {backend.cluster}")
+        self.backends[backend.cluster] = backend
+
+    def backend_in(self, cluster: str) -> Backend:
+        """The deployment's backend in ``cluster`` (raises if absent)."""
+        found = self.backends.get(cluster)
+        if found is None:
+            raise MeshError(
+                f"service {self.service!r} has no backend in {cluster!r}")
+        return found
+
+    def backend_names(self) -> list[str]:
+        """Stable (cluster-sorted) list of backend names."""
+        return [self.backends[c].name for c in sorted(self.backends)]

@@ -1,0 +1,27 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based simulator in the style of SimPy:
+processes are Python generators that ``yield`` events (timeouts, other
+processes, bare events, or combinations) and are resumed when those events
+fire. The kernel is the substrate on which the whole multi-cluster mesh
+model runs.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Server, Store
+from repro.sim.rng import RngRegistry, lognormal_params_from_percentiles
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Process",
+    "RngRegistry",
+    "Server",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "lognormal_params_from_percentiles",
+]

@@ -1,0 +1,135 @@
+"""The simulation event loop.
+
+:class:`Simulator` owns the clock and a binary-heap agenda of triggered
+events. Time is a ``float`` in **seconds**. Ties are broken by insertion
+order, which makes runs fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def hello(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        proc = sim.spawn(hello(sim))
+        sim.run()
+        assert proc.value == "done"
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list = []
+        self._sequence = count()
+
+    # ------------------------------------------------------------------ #
+    # Clock and agenda
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def _enqueue(self, delay: float, event: Event) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        heapq.heappush(self._heap, (self._now + delay, next(self._sequence), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    # ------------------------------------------------------------------ #
+    # Event factories
+    # ------------------------------------------------------------------ #
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events) -> AllOf:
+        """Event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event firing when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    def spawn(self, generator, name: str | None = None) -> Process:
+        """Start a generator as a process at the current time."""
+        return Process(self, generator, name=name)
+
+    def call_at(self, when: float, fn, *args) -> Event:
+        """Run ``fn(*args)`` as a callback at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={self._now})")
+        event = Event(self)
+        event.add_callback(lambda _ev: fn(*args))
+        event.succeed(delay=when - self._now)
+        return event
+
+    def call_after(self, delay: float, fn, *args) -> Event:
+        """Run ``fn(*args)`` as a callback ``delay`` seconds from now."""
+        return self.call_at(self._now + delay, fn, *args)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> None:
+        """Process the single next event on the agenda.
+
+        A failed event whose exception is delivered to no waiter (and that
+        has not been ``defused``) aborts the run — errors must never pass
+        silently.
+        """
+        if not self._heap:
+            raise SimulationError("step() on an empty agenda")
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._process()
+        if not event.ok and not event._delivered and not event.defused:
+            raise SimulationError(
+                f"unhandled failure in {event!r}") from event._exception
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the agenda empties or the clock would pass ``until``.
+
+        When ``until`` is given, the clock is advanced exactly to ``until``
+        even if the last event fires earlier (so periodic measurements can
+        rely on the final timestamp). Returns the final clock value.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return self._now
+        if until < self._now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self._now = until
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6f} agenda={len(self._heap)}>"

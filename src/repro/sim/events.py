@@ -1,0 +1,175 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence at a point in simulated time.
+Processes wait on events by yielding them; arbitrary callbacks can also be
+attached. Events carry either a value (success) or an exception (failure).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+# Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot simulation event.
+
+    Lifecycle: *pending* (just created) → *triggered* (scheduled onto the
+    event heap via :meth:`succeed`/:meth:`fail`) → *processed* (callbacks
+    have run).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_processed",
+                 "_delivered", "defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list = []
+        self._value = _PENDING
+        self._exception: BaseException | None = None
+        self._processed = False
+        self._delivered = False
+        # A failed event whose exception reaches no waiter aborts the run
+        # unless it has been explicitly defused.
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to fire."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event fired successfully (valid once triggered)."""
+        return self._exception is None
+
+    @property
+    def value(self):
+        """The event's value; raises if the event failed or is pending."""
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise SimulationError("event value accessed before trigger")
+        return self._value
+
+    def succeed(self, value=None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully, optionally after ``delay``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self.sim._enqueue(delay, self)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception, optionally after ``delay``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._exception = exception
+        self._value = None
+        self.sim._enqueue(delay, self)
+        return self
+
+    def add_callback(self, callback) -> None:
+        """Attach ``callback(event)``; runs when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (this keeps waiting on completed processes race-free).
+        """
+        if self._processed:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        """Run all callbacks. Called by the simulator loop exactly once."""
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        self._delivered = bool(callbacks)
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` time units from now."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value=None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self.sim._enqueue(delay, self)
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, sim: "Simulator", events):
+        super().__init__(sim)
+        self.events = list(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._exception)
+            return
+        self._n_fired += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        # Only children whose callbacks have run count as fired — a
+        # Timeout is "triggered" (scheduled) from birth but has not
+        # happened yet.
+        return {e: e._value for e in self.events if e.processed and e.ok}
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; value maps event → value."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_fired == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any child event fires; value maps event → value."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_fired >= 1

@@ -1,0 +1,125 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator. Each value the generator yields must be
+an :class:`~repro.sim.events.Event` (timeouts, other processes, conditions);
+the process sleeps until that event fires and is resumed with the event's
+value (or, if the event failed, the event's exception is thrown into the
+generator). A process is itself an event that fires when the generator
+returns, carrying the generator's return value.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import Interrupted, SimulationError
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class Process(Event):
+    """A running simulation process (also usable as a waitable event)."""
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator, name: str | None = None):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process needs a generator, got {type(generator).__name__}; "
+                "did you forget to call the process function?")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Kick the process off at the current simulation time.
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator can still make progress."""
+        return not self.triggered
+
+    def interrupt(self, cause=None) -> None:
+        """Throw :class:`Interrupted` into the process at the current time.
+
+        Interrupting a finished process is a no-op, mirroring the
+        forgiveness of cancelling an already-completed task.
+        """
+        if self.triggered:
+            return
+        waited = self._waiting_on
+        if waited is not None and not waited.processed:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        wakeup = Event(self.sim)
+        wakeup.add_callback(lambda _ev: self._throw(Interrupted(cause)))
+        wakeup.succeed()
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        try:
+            target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate via event
+            self._finish_with_error(error)
+            return
+        self._wait_on(target)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self.generator.send(event._value)
+            else:
+                target = self.generator.throw(event._exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate via event
+            self._finish_with_error(error)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target) -> None:
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes must yield Event instances")
+            self._throw(exc)
+            return
+        if target.processed:
+            # The event already fired; resume on the next scheduler tick so
+            # we never recurse unboundedly through chains of ready events.
+            wakeup = Event(self.sim)
+            wakeup.add_callback(
+                lambda _ev: self._resume(target))
+            wakeup.succeed()
+            self._waiting_on = None
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _finish_with_error(self, error: BaseException) -> None:
+        """Finish the process in the failed state.
+
+        The failure is delivered to waiters like any failed event; if nobody
+        waits on the process the simulator aborts the run (see
+        :meth:`Simulator.step`) unless the process was ``defused``.
+        """
+        self._exception = error
+        self._value = None
+        self.sim._enqueue(0.0, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

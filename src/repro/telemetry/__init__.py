@@ -1,0 +1,30 @@
+"""Prometheus-like telemetry pipeline (paper §4, "Metric collection").
+
+The mesh's sidecar proxies expose monotonically increasing counters, an
+in-flight gauge and a bucketed latency histogram per backend
+(:mod:`repro.telemetry.metrics`, :mod:`repro.telemetry.histogram`). A
+scraper process snapshots them on a fixed interval (default 5 s,
+:mod:`repro.telemetry.scraper`) into time series; the controller's queries
+(:mod:`repro.telemetry.query`) compute windowed rates and percentiles from
+those samples — reproducing the data-freshness characteristics the paper
+discusses (per-second averages extrapolated from a 10 s window holding at
+least two scrape samples).
+"""
+
+from repro.telemetry.histogram import DEFAULT_BUCKET_BOUNDS_S, LatencyHistogram
+from repro.telemetry.metrics import BackendTelemetry, Counter, Gauge
+from repro.telemetry.query import PromMetricsSource
+from repro.telemetry.scraper import Scraper
+from repro.telemetry.timeseries import SampleSeries, TimeSeriesStore
+
+__all__ = [
+    "BackendTelemetry",
+    "Counter",
+    "DEFAULT_BUCKET_BOUNDS_S",
+    "Gauge",
+    "LatencyHistogram",
+    "PromMetricsSource",
+    "SampleSeries",
+    "Scraper",
+    "TimeSeriesStore",
+]

@@ -1,0 +1,98 @@
+"""Proxy-side metric primitives (counters, gauges, per-backend bundles).
+
+Mirrors how a Linkerd proxy exposes data-plane metrics: request totals are
+monotonic counters (rates must be derived by the query layer from scraped
+samples, never read directly), in-flight requests are a gauge, latency is a
+bucketed histogram.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TelemetryError
+from repro.telemetry.histogram import LatencyHistogram
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self):
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase the counter; decreasing is a telemetry-model violation."""
+        if amount < 0:
+            raise TelemetryError(f"counters cannot decrease: {amount}")
+        self._value += amount
+
+
+class Gauge:
+    """A value that can move in both directions (e.g. in-flight requests)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, initial: float = 0.0):
+        self._value = float(initial)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+
+class BackendTelemetry:
+    """The full data-plane metric bundle one proxy keeps per backend.
+
+    Attributes:
+        requests_total: all completed requests (success + failure).
+        failures_total: completed requests with a failure response.
+        success_latency: latency histogram of *successful* requests only
+            (§3.1: failure latency must not pollute the success signal).
+        failure_latency: latency histogram of failed requests, kept
+            separately — used by the dynamic-penalty extension.
+        inflight: requests sent but not yet answered.
+    """
+
+    def __init__(self, backend_name: str, scrape_name: str | None = None):
+        """Args:
+            backend_name: the backend these metrics describe.
+            scrape_name: name the scraper stores series under; defaults to
+                the backend name. Proxies scope it by source cluster
+                (``"cluster-1|svc/cluster-2"``) so that each cluster's L3
+                instance sees latency *from its own vantage point* — the
+                paper's "L3 would most likely run on all clusters".
+        """
+        self.backend_name = backend_name
+        self.scrape_name = scrape_name or backend_name
+        self.requests_total = Counter()
+        self.failures_total = Counter()
+        self.success_latency = LatencyHistogram()
+        self.failure_latency = LatencyHistogram()
+        self.inflight = Gauge()
+
+    def on_request_sent(self) -> None:
+        """Record a request leaving the proxy toward this backend."""
+        self.inflight.inc()
+
+    def on_response(self, latency_s: float, success: bool) -> None:
+        """Record a completed request (response or failure observed)."""
+        self.inflight.dec()
+        self.requests_total.inc()
+        if success:
+            self.success_latency.observe(latency_s)
+        else:
+            self.failures_total.inc()
+            self.failure_latency.observe(latency_s)

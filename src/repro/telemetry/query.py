@@ -1,0 +1,132 @@
+"""Windowed queries over scraped series — the controller's metrics source.
+
+Implements the :class:`repro.core.controller.MetricsSource` protocol with
+PromQL-equivalent semantics: counter rates from window edge samples,
+percentiles from histogram-bucket deltas, gauges from the latest sample.
+A backend without traffic in the window yields ``None`` (the paper: L3
+"cannot retrieve metrics … after at least 10 seconds without any traffic"),
+which triggers the controller's decay-toward-default path.
+"""
+
+from __future__ import annotations
+
+from repro.core.controller import MetricSample
+from repro.telemetry import scraper as metric_names
+from repro.telemetry.histogram import DEFAULT_BUCKET_BOUNDS_S, quantile_from_delta
+from repro.telemetry.timeseries import TimeSeriesStore
+
+
+class PromMetricsSource:
+    """Aggregated windowed metrics over a :class:`TimeSeriesStore`."""
+
+    def __init__(self, store: TimeSeriesStore,
+                 bucket_bounds=DEFAULT_BUCKET_BOUNDS_S,
+                 scope: str | None = None):
+        """Args:
+            store: the scraped series.
+            bucket_bounds: histogram ladder used by the scraped proxies.
+            scope: when set, backend series are looked up under
+                ``"{scope}|{backend}"`` — the per-source-cluster vantage
+                point a cluster-local L3 instance queries.
+        """
+        self.store = store
+        self.bucket_bounds = tuple(bucket_bounds)
+        self.scope = scope
+
+    def _scoped(self, name: str) -> str:
+        return f"{self.scope}|{name}" if self.scope else name
+
+    def collect(self, backend_names, now: float, window_s: float,
+                percentile: float) -> dict:
+        """One :class:`MetricSample` (or None) per backend over the window."""
+        return {
+            name: self._collect_backend(name, now, window_s, percentile)
+            for name in backend_names
+        }
+
+    def _collect_backend(self, name: str, now: float, window_s: float,
+                         percentile: float):
+        start = now - window_s
+        name = self._scoped(name)
+        requests = self.store.series(name, metric_names.REQUESTS_TOTAL)
+        edges = requests.first_last_in_window(start, now)
+        if edges is None:
+            return None
+        (t0, req0), (t1, req1) = edges
+        elapsed = t1 - t0
+        delta_requests = req1 - req0
+        if elapsed <= 0 or delta_requests <= 0:
+            return None
+
+        rps = delta_requests / elapsed
+
+        failures = self.store.series(name, metric_names.FAILURES_TOTAL)
+        failure_edges = failures.first_last_in_window(start, now)
+        delta_failures = (
+            failure_edges[1][1] - failure_edges[0][1] if failure_edges else 0.0)
+        success_rate = 1.0 - delta_failures / delta_requests
+        success_rate = min(max(success_rate, 0.0), 1.0)
+
+        latency_s = self._latency_quantile(
+            name, metric_names.SUCCESS_LATENCY_BUCKETS, start, now, percentile)
+        mean_latency_s = self._mean_latency(name, start, now)
+
+        inflight_sample = self.store.series(
+            name, metric_names.INFLIGHT).latest_in_window(start, now)
+        inflight = max(inflight_sample[1], 0.0) if inflight_sample else 0.0
+
+        return MetricSample(
+            latency_s=latency_s, success_rate=success_rate,
+            rps=rps, inflight=inflight, mean_latency_s=mean_latency_s)
+
+    def _mean_latency(self, name: str, start: float, end: float):
+        """Windowed mean of successful latency from sum/count deltas."""
+        sums = self.store.series(
+            name, metric_names.SUCCESS_LATENCY_SUM
+        ).first_last_in_window(start, end)
+        counts = self.store.series(
+            name, metric_names.SUCCESS_LATENCY_COUNT
+        ).first_last_in_window(start, end)
+        if sums is None or counts is None:
+            return None
+        delta_count = counts[1][1] - counts[0][1]
+        if delta_count <= 0:
+            return None
+        return (sums[1][1] - sums[0][1]) / delta_count
+
+    def _latency_quantile(self, name: str, metric: str, start: float,
+                          end: float, percentile: float):
+        """Windowed percentile from histogram deltas; None without data."""
+        series = self.store.series(name, metric)
+        edges = series.first_last_in_window(start, end)
+        if edges is None:
+            return None
+        (_t0, buckets0), (_t1, buckets1) = edges
+        if buckets1[-1] - buckets0[-1] <= 0:
+            return None
+        return quantile_from_delta(
+            self.bucket_bounds, buckets0, buckets1, percentile)
+
+    def server_queue(self, name: str, now: float, window_s: float) -> float:
+        """Latest server-side queue occupancy of a backend (unscoped).
+
+        Server-reported queue size is the feedback channel the original C3
+        relies on; it is a property of the backend itself, so the series
+        is shared by all vantage points (never scope-prefixed).
+        """
+        sample = self.store.series(
+            f"server|{name}", metric_names.SERVER_QUEUE
+        ).latest_in_window(now - window_s, now)
+        return max(sample[1], 0.0) if sample else 0.0
+
+    def failure_latency_quantile(self, name: str, now: float,
+                                 window_s: float, percentile: float):
+        """Windowed percentile of *failed*-request latency (extension).
+
+        Used by the dynamic-penalty-factor extension (paper §7 future
+        work): continuous feedback about the response time of unsuccessful
+        requests. Returns None without failure data in the window.
+        """
+        return self._latency_quantile(
+            self._scoped(name), metric_names.FAILURE_LATENCY_BUCKETS,
+            now - window_s, now, percentile)

@@ -1,0 +1,84 @@
+"""The Prometheus-like scrape loop (paper §4: default every 5 seconds)."""
+
+from __future__ import annotations
+
+from repro.errors import Interrupted, TelemetryError
+from repro.telemetry.metrics import BackendTelemetry
+from repro.telemetry.timeseries import TimeSeriesStore
+
+# Metric names under which a backend's telemetry is scraped.
+REQUESTS_TOTAL = "requests_total"
+FAILURES_TOTAL = "failures_total"
+SUCCESS_LATENCY_BUCKETS = "success_latency_buckets"
+SUCCESS_LATENCY_SUM = "success_latency_sum"
+SUCCESS_LATENCY_COUNT = "success_latency_count"
+FAILURE_LATENCY_BUCKETS = "failure_latency_buckets"
+INFLIGHT = "inflight"
+SERVER_QUEUE = "server_queue"
+
+
+class Scraper:
+    """Periodically snapshots proxy telemetry into a time-series store.
+
+    The scrape interval bounds the control loop's data freshness: rates are
+    per-second averages extrapolated from counter deltas between scrapes,
+    which the paper calls out as a limitation for spiky workloads (§4).
+    """
+
+    def __init__(self, store: TimeSeriesStore, interval_s: float = 5.0):
+        if interval_s <= 0:
+            raise TelemetryError(f"scrape interval must be positive: {interval_s}")
+        self.store = store
+        self.interval_s = interval_s
+        self._targets: dict[str, BackendTelemetry] = {}
+        self._gauges: list[tuple[str, str, object]] = []
+
+    def register(self, telemetry: BackendTelemetry) -> None:
+        """Add a proxy's per-backend telemetry bundle as a scrape target."""
+        name = getattr(telemetry, "scrape_name", telemetry.backend_name)
+        if name in self._targets:
+            raise TelemetryError(f"duplicate scrape target: {name}")
+        self._targets[name] = telemetry
+
+    def register_gauge(self, series_name: str, metric: str, read) -> None:
+        """Add a custom gauge scrape target.
+
+        Used for server-side signals that are not part of a client proxy's
+        bundle — e.g. a backend's replica queue occupancy, the feedback
+        channel the original C3 relies on.
+
+        Args:
+            series_name: time-series key (e.g. ``"server|svc/cluster-1"``).
+            metric: metric name within the series.
+            read: zero-argument callable returning the current value.
+        """
+        self._gauges.append((series_name, metric, read))
+
+    def scrape_once(self, now: float) -> None:
+        """Snapshot every registered target at time ``now``."""
+        for name, telemetry in self._targets.items():
+            self.store.series(name, REQUESTS_TOTAL).append(
+                now, telemetry.requests_total.value)
+            self.store.series(name, FAILURES_TOTAL).append(
+                now, telemetry.failures_total.value)
+            self.store.series(name, SUCCESS_LATENCY_BUCKETS).append(
+                now, telemetry.success_latency.cumulative_counts())
+            self.store.series(name, SUCCESS_LATENCY_SUM).append(
+                now, telemetry.success_latency.sum)
+            self.store.series(name, SUCCESS_LATENCY_COUNT).append(
+                now, telemetry.success_latency.count)
+            self.store.series(name, FAILURE_LATENCY_BUCKETS).append(
+                now, telemetry.failure_latency.cumulative_counts())
+            self.store.series(name, INFLIGHT).append(
+                now, telemetry.inflight.value)
+        for series_name, metric, read in self._gauges:
+            self.store.series(series_name, metric).append(now, float(read()))
+
+    def run(self, sim):
+        """Generator process: scrape every ``interval_s`` until interrupted."""
+        try:
+            while True:
+                yield sim.timeout(self.interval_s)
+                self.scrape_once(sim.now)
+        except Interrupted:
+            return

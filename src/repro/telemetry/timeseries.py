@@ -1,0 +1,84 @@
+"""Scraped-sample storage with windowed lookups.
+
+The scraper appends ``(time, value)`` samples; queries read trailing
+windows. Values are floats for counters/gauges and cumulative-count tuples
+for histograms — the store is agnostic.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+
+from repro.errors import TelemetryError
+
+
+class SampleSeries:
+    """An append-only, time-ordered series with bounded retention."""
+
+    def __init__(self, max_age_s: float = 300.0):
+        if max_age_s <= 0:
+            raise TelemetryError(f"retention must be positive: {max_age_s}")
+        self.max_age_s = max_age_s
+        self._times: deque[float] = deque()
+        self._values: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, when: float, value) -> None:
+        """Append a sample; samples must arrive in time order."""
+        if self._times and when < self._times[-1]:
+            raise TelemetryError(
+                f"out-of-order sample: {when} < {self._times[-1]}")
+        self._times.append(when)
+        self._values.append(value)
+        cutoff = when - self.max_age_s
+        while self._times and self._times[0] < cutoff:
+            self._times.popleft()
+            self._values.popleft()
+
+    def window(self, start: float, end: float) -> list:
+        """All ``(time, value)`` samples with ``start <= time <= end``."""
+        times = list(self._times)
+        lo = bisect.bisect_left(times, start)
+        hi = bisect.bisect_right(times, end)
+        values = list(self._values)
+        return list(zip(times[lo:hi], values[lo:hi]))
+
+    def first_last_in_window(self, start: float, end: float):
+        """``((t0, v0), (t1, v1))`` of the window edge samples, else None.
+
+        Returns None when fewer than two samples fall inside the window —
+        mirroring Prometheus ``rate()``, which needs at least two points.
+        """
+        samples = self.window(start, end)
+        if len(samples) < 2:
+            return None
+        return samples[0], samples[-1]
+
+    def latest_in_window(self, start: float, end: float):
+        """The most recent ``(time, value)`` in the window, or None."""
+        samples = self.window(start, end)
+        return samples[-1] if samples else None
+
+
+class TimeSeriesStore:
+    """All scraped series, keyed by ``(backend_name, metric_name)``."""
+
+    def __init__(self, max_age_s: float = 300.0):
+        self.max_age_s = max_age_s
+        self._series: dict[tuple[str, str], SampleSeries] = {}
+
+    def series(self, backend: str, metric: str) -> SampleSeries:
+        """Return (creating on first use) the series for a backend metric."""
+        key = (backend, metric)
+        found = self._series.get(key)
+        if found is None:
+            found = SampleSeries(self.max_age_s)
+            self._series[key] = found
+        return found
+
+    def backends(self) -> set[str]:
+        """All backend names that have at least one series."""
+        return {backend for backend, _metric in self._series}

@@ -1,0 +1,38 @@
+"""Workloads: time-varying profiles, TIER-like scenarios, load generators,
+and the DeathStarBench hotel-reservation call graph."""
+
+from repro.workloads.profiles import (
+    BackendProfile,
+    PiecewiseSeries,
+    constant_series,
+)
+from repro.workloads.scenarios import (
+    SCENARIO_NAMES,
+    Scenario,
+    build_scenario,
+)
+from repro.workloads.loadgen import OpenLoopLoadGenerator
+from repro.workloads.hotel import build_hotel_application
+from repro.workloads.social import build_social_application
+from repro.workloads.callgraph import CallGraphApp, EndpointSpec, ServiceSpec
+from repro.workloads.spans import Span, scenario_from_spans
+from repro.workloads.traceio import load_scenario, save_scenario
+
+__all__ = [
+    "BackendProfile",
+    "CallGraphApp",
+    "EndpointSpec",
+    "OpenLoopLoadGenerator",
+    "PiecewiseSeries",
+    "SCENARIO_NAMES",
+    "Scenario",
+    "ServiceSpec",
+    "Span",
+    "build_hotel_application",
+    "build_scenario",
+    "build_social_application",
+    "constant_series",
+    "load_scenario",
+    "save_scenario",
+    "scenario_from_spans",
+]

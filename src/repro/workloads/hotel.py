@@ -1,0 +1,178 @@
+"""The DeathStarBench hotel-reservation application (paper §5.1, Fig. 9).
+
+Eight microservices plus their caches and databases, modelled after the
+hotelReservation benchmark of the DeathStarBench suite: a frontend fans
+out to search (which consults geo and rate in parallel), profile,
+recommendation, user and reservation services; rate, profile and
+reservation read through memcached with MongoDB fall-through; geo,
+recommendation and user hit MongoDB directly.
+
+The request mix follows the suite's wrk2 script: ~60 % hotel searches,
+~39 % recommendations, ~0.5 % user logins, ~0.5 % reservations.
+
+Caches and databases are stateful and therefore cluster-local
+(``local_only``); every *stateless* service-to-service hop is balanced
+between clusters by the algorithm under test — matching the paper's setup
+where "outgoing requests from any of the microservices to other
+microservices are distributed within all clusters according to the load
+balancing algorithm".
+
+Service times are synthetic (the suite's real times depend on hardware)
+but sized so that, with the paper's ~10 ms inter-cluster delay, the
+end-to-end P99 lands in the same double-digit-millisecond regime as
+Fig. 9, and replica capacities are sized so the system saturates around
+1000 total RPS, as §5.3.1 reports for the paper's environment.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.workloads.profiles import PiecewiseSeries, pulse_series
+from repro.workloads.callgraph import (
+    CachedRead,
+    CallGraphApp,
+    EndpointSpec,
+    ParallelCalls,
+    ServiceSpec,
+    deploy_callgraph_services,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mesh.mesh import ServiceMesh
+
+# --------------------------------------------------------------------- #
+# Service inventory
+# --------------------------------------------------------------------- #
+
+
+def hotel_service_specs() -> dict[str, ServiceSpec]:
+    """The hotel-reservation services, caches, and databases."""
+    ms = 1e-3
+    # Sub-millisecond to low-millisecond compute: the suite's Go services
+    # are fast, so the ~10 ms inter-cluster delay dominates each remote
+    # hop — that dominance is what latency-aware routing exploits.
+    specs = [
+        # The frontend is pinned to the client's cluster (3 replicas serve
+        # *all* offered load); 12 concurrent requests per replica at
+        # ~30 ms end-to-end hold time puts its saturation near 1000 RPS —
+        # where §5.3.1 reports the suite saturating at the paper's scale.
+        ServiceSpec("frontend", 0.5 * ms, 1.5 * ms,
+                    replica_capacity=12),
+        ServiceSpec("search", 0.5 * ms, 1.5 * ms, replica_capacity=4, stages=(
+            ParallelCalls(("geo", "rate")),
+        )),
+        ServiceSpec("geo", 0.8 * ms, 2.5 * ms, replica_capacity=4, stages=(
+            ParallelCalls(("mongodb-geo",)),
+        )),
+        ServiceSpec("rate", 0.5 * ms, 1.5 * ms, replica_capacity=4, stages=(
+            CachedRead("memcached-rate", "mongodb-rate", hit_prob=0.8),
+        )),
+        ServiceSpec("profile", 0.5 * ms, 1.5 * ms, replica_capacity=4, stages=(
+            CachedRead("memcached-profile", "mongodb-profile", hit_prob=0.9),
+        )),
+        ServiceSpec("recommendation", 0.7 * ms, 2.0 * ms, replica_capacity=4, stages=(
+            ParallelCalls(("mongodb-recommendation",)),
+        )),
+        ServiceSpec("user", 0.3 * ms, 1.0 * ms, replica_capacity=4, stages=(
+            ParallelCalls(("mongodb-user",)),
+        )),
+        ServiceSpec("reservation", 0.5 * ms, 1.5 * ms, replica_capacity=4, stages=(
+            CachedRead("memcached-reservation", "mongodb-reservation",
+                       hit_prob=0.7),
+        )),
+        # Stateful tier: cluster-local, fast caches, document DBs with
+        # heavier tails (the paper notes a slow database can add an order
+        # of magnitude more latency than the WAN — the tails below give
+        # the P99 its database component).
+        ServiceSpec("memcached-rate", 0.1 * ms, 0.3 * ms, local_only=True,
+                    replica_capacity=64),
+        ServiceSpec("memcached-profile", 0.1 * ms, 0.3 * ms, local_only=True,
+                    replica_capacity=64),
+        ServiceSpec("memcached-reservation", 0.1 * ms, 0.3 * ms,
+                    local_only=True, replica_capacity=64),
+        ServiceSpec("mongodb-geo", 1.0 * ms, 3.0 * ms, local_only=True),
+        ServiceSpec("mongodb-rate", 1.0 * ms, 3.0 * ms, local_only=True),
+        ServiceSpec("mongodb-profile", 1.0 * ms, 3.0 * ms, local_only=True),
+        ServiceSpec("mongodb-recommendation", 1.0 * ms, 3.0 * ms,
+                    local_only=True),
+        ServiceSpec("mongodb-user", 0.8 * ms, 2.5 * ms, local_only=True),
+        ServiceSpec("mongodb-reservation", 1.2 * ms, 4.0 * ms,
+                    local_only=True),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+def hotel_endpoints() -> tuple[EndpointSpec, ...]:
+    """The wrk2 mixed-workload request types and their weights."""
+    return (
+        EndpointSpec("search-hotel", 60.0, stages=(
+            ParallelCalls(("search",)),
+            ParallelCalls(("profile",)),
+        )),
+        EndpointSpec("recommend", 39.0, stages=(
+            ParallelCalls(("recommendation",)),
+            ParallelCalls(("profile",)),
+        )),
+        EndpointSpec("user-login", 0.5, stages=(
+            ParallelCalls(("user",)),
+        )),
+        EndpointSpec("reserve", 0.5, stages=(
+            ParallelCalls(("user",)),
+            ParallelCalls(("reservation",)),
+        )),
+    )
+
+
+def hotel_cluster_noise(clusters, duration_s: float = 1800.0,
+                        seed: int = 0x407E1) -> dict:
+    """Per-cluster transient degradation episodes for the hotel deployment.
+
+    EC2 clusters are not steady: noisy neighbours and CPU throttling cause
+    intermittent, *tail-heavy* slowdowns — the median barely moves while
+    the P99 inflates severely (the §5.3.1 environment where tail-driven
+    weighting pays off). Each cluster gets an independent pulse train:
+    pulses multiply the P99 by 4-9x and the median by ~2-3.4x,
+    enough to drive transient queue build-up at moderate utilisation.
+    """
+    import random
+
+    rng = random.Random(seed)
+    noise = {}
+    for cluster in clusters:
+        p99_mult = pulse_series(
+            rng, duration_s, spacing_s=15.0, pulse_prob=0.10,
+            pulse_lo=4.0, pulse_hi=9.0)
+        # The median pulses at the same instants, much more mildly.
+        median_mult = PiecewiseSeries(
+            [(t, 1.0 + (v - 1.0) * 0.30)
+             for t, v in zip(p99_mult._times, p99_mult._values)],
+            period_s=p99_mult.period_s)
+        noise[cluster] = (median_mult, p99_mult)
+    return noise
+
+
+def build_hotel_application(mesh: "ServiceMesh", client_cluster: str,
+                            balancer_factory, rng,
+                            with_cluster_noise: bool = True) -> CallGraphApp:
+    """Deploy the hotel-reservation app on ``mesh`` and return it.
+
+    Args:
+        mesh: target mesh (services are deployed into every cluster).
+        client_cluster: where the benchmark client runs (requests enter
+            the cluster-local frontend, as in the paper).
+        balancer_factory: ``f(service, backend_names, source_cluster) ->
+            Balancer`` for the stateless multi-cluster hops.
+        rng: random stream for the endpoint mix and cache hits.
+        with_cluster_noise: apply the per-cluster transient degradation
+            episodes of :func:`hotel_cluster_noise` (on by default; turn
+            off for a perfectly steady environment).
+    """
+    specs = hotel_service_specs()
+    noise = (hotel_cluster_noise(list(mesh.clusters))
+             if with_cluster_noise else None)
+    deploy_callgraph_services(mesh, specs, cluster_noise=noise)
+    return CallGraphApp(
+        mesh, specs, hotel_endpoints(), root_service="frontend",
+        client_cluster=client_cluster, balancer_factory=balancer_factory,
+        rng=rng)

@@ -1,0 +1,78 @@
+"""Open-loop load generation (the paper uses wrk2, a constant-throughput
+client with correct latency recording).
+
+Open loop means the request schedule never waits for responses: each
+request is dispatched as its own simulation process at its *intended* send
+time, and latency is measured from that intended time — so a slow backend
+cannot slow the load down and thereby hide its own badness (the
+coordinated-omission artefact wrk2 exists to fix).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.workloads.profiles import PiecewiseSeries, constant_series
+
+_ARRIVALS = ("uniform", "poisson")
+
+
+class OpenLoopLoadGenerator:
+    """Generates requests against a dispatch target at a (time-varying) rate.
+
+    Args:
+        target: anything with a ``dispatch(intended_start_s)`` simulation
+            generator returning a
+            :class:`~repro.mesh.request.RequestRecord` (a
+            :class:`~repro.mesh.proxy.ClientProxy`, or a call-graph app
+            entry point).
+        rps: offered load; a float or a :class:`PiecewiseSeries`.
+        rng: private random stream (Poisson gaps).
+        records: list that completed request records are appended to.
+        arrival: ``"uniform"`` for wrk2-style constant spacing,
+            ``"poisson"`` for exponential inter-arrivals.
+    """
+
+    def __init__(self, target, rps, rng, records: list,
+                 arrival: str = "uniform"):
+        if arrival not in _ARRIVALS:
+            raise ConfigError(
+                f"arrival must be one of {_ARRIVALS}: {arrival!r}")
+        if isinstance(rps, (int, float)):
+            rps = constant_series(float(rps))
+        if not isinstance(rps, PiecewiseSeries):
+            raise ConfigError(f"rps must be a number or series: {rps!r}")
+        self.target = target
+        self.rps = rps
+        self.rng = rng
+        self.records = records
+        self.arrival = arrival
+        self.generated = 0
+
+    def _gap(self, now: float) -> float:
+        rate = max(self.rps.value_at(now), 1e-9)
+        if self.arrival == "poisson":
+            return self.rng.expovariate(rate)
+        return 1.0 / rate
+
+    def _one_request(self, intended_start: float):
+        record = yield from self.target.dispatch(intended_start)
+        self.records.append(record)
+
+    def run(self, sim, duration_s: float):
+        """Generator process emitting requests for ``duration_s`` seconds.
+
+        In-flight requests at the deadline are left to complete on their
+        own; only requests *started* within the window are generated.
+        """
+        if duration_s <= 0:
+            raise ConfigError(f"duration must be positive: {duration_s}")
+        deadline = sim.now + duration_s
+        while True:
+            gap = self._gap(sim.now)
+            if sim.now + gap >= deadline:
+                return
+            yield sim.timeout(gap)
+            intended = sim.now
+            sim.spawn(self._one_request(intended),
+                      name=f"request-{self.generated}")
+            self.generated += 1

@@ -1,0 +1,134 @@
+"""The DeathStarBench social-network application (second workload app).
+
+The paper evaluates on the suite's hotel-reservation application; the
+suite's larger socialNetwork graph is included here as an additional
+workload for the harness — its deeper, write-heavy call chains (compose
+post → fan-out to timelines) exercise the call-graph engine and the
+balancers harder than the hotel app's read-mostly mix.
+
+Modelled after the suite's socialNetwork: a frontend (nginx) drives
+compose-post, read-home-timeline and read-user-timeline endpoints over a
+graph of 11 stateless services plus Redis/Memcached/MongoDB stateful
+tiers (cluster-local, as all stateful services are).
+
+The default request mix follows the suite's mixed workload: 60 % home
+timeline reads, 30 % user timeline reads, 10 % compose.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.workloads.callgraph import (
+    CachedRead,
+    CallGraphApp,
+    EndpointSpec,
+    ParallelCalls,
+    ServiceSpec,
+    deploy_callgraph_services,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mesh.mesh import ServiceMesh
+
+
+def social_service_specs() -> dict[str, ServiceSpec]:
+    """The social-network services, caches and stores."""
+    ms = 1e-3
+    specs = [
+        ServiceSpec("nginx", 0.3 * ms, 1.0 * ms, replica_capacity=16),
+        # --- compose path -------------------------------------------- #
+        ServiceSpec("compose-post", 0.8 * ms, 2.5 * ms, replica_capacity=6,
+                    stages=(
+                        ParallelCalls(("unique-id", "media", "user",
+                                       "text")),
+                        ParallelCalls(("post-storage",)),
+                        ParallelCalls(("user-timeline",
+                                       "write-home-timeline")),
+                    )),
+        ServiceSpec("unique-id", 0.2 * ms, 0.6 * ms, replica_capacity=6),
+        ServiceSpec("media", 0.5 * ms, 1.5 * ms, replica_capacity=6),
+        ServiceSpec("user", 0.3 * ms, 1.0 * ms, replica_capacity=6, stages=(
+            CachedRead("memcached-user", "mongodb-user", hit_prob=0.95),
+        )),
+        ServiceSpec("text", 0.5 * ms, 1.5 * ms, replica_capacity=6, stages=(
+            ParallelCalls(("url-shorten", "user-mention")),
+        )),
+        ServiceSpec("url-shorten", 0.3 * ms, 1.0 * ms, replica_capacity=6),
+        ServiceSpec("user-mention", 0.3 * ms, 1.0 * ms, replica_capacity=6,
+                    stages=(
+                        CachedRead("memcached-user", "mongodb-user",
+                                   hit_prob=0.9),
+                    )),
+        ServiceSpec("write-home-timeline", 0.4 * ms, 1.2 * ms,
+                    replica_capacity=6, stages=(
+                        ParallelCalls(("social-graph",)),
+                        ParallelCalls(("redis-home-timeline",)),
+                    )),
+        ServiceSpec("social-graph", 0.4 * ms, 1.2 * ms, replica_capacity=6,
+                    stages=(
+                        CachedRead("redis-social-graph",
+                                   "mongodb-social-graph", hit_prob=0.9),
+                    )),
+        # --- read paths ---------------------------------------------- #
+        ServiceSpec("home-timeline", 0.4 * ms, 1.2 * ms, replica_capacity=6,
+                    stages=(
+                        ParallelCalls(("redis-home-timeline",)),
+                        ParallelCalls(("post-storage",)),
+                    )),
+        ServiceSpec("user-timeline", 0.4 * ms, 1.2 * ms, replica_capacity=6,
+                    stages=(
+                        CachedRead("redis-user-timeline",
+                                   "mongodb-user-timeline", hit_prob=0.8),
+                        ParallelCalls(("post-storage",)),
+                    )),
+        ServiceSpec("post-storage", 0.4 * ms, 1.2 * ms, replica_capacity=8,
+                    stages=(
+                        CachedRead("memcached-post", "mongodb-post",
+                                   hit_prob=0.85),
+                    )),
+        # --- stateful tier (cluster-local) ---------------------------- #
+        ServiceSpec("redis-home-timeline", 0.15 * ms, 0.4 * ms,
+                    local_only=True, replica_capacity=32),
+        ServiceSpec("redis-user-timeline", 0.15 * ms, 0.4 * ms,
+                    local_only=True, replica_capacity=32),
+        ServiceSpec("redis-social-graph", 0.15 * ms, 0.4 * ms,
+                    local_only=True, replica_capacity=32),
+        ServiceSpec("memcached-user", 0.1 * ms, 0.3 * ms, local_only=True,
+                    replica_capacity=32),
+        ServiceSpec("memcached-post", 0.1 * ms, 0.3 * ms, local_only=True,
+                    replica_capacity=32),
+        ServiceSpec("mongodb-user", 1.0 * ms, 3.5 * ms, local_only=True),
+        ServiceSpec("mongodb-post", 1.2 * ms, 4.0 * ms, local_only=True),
+        ServiceSpec("mongodb-social-graph", 1.0 * ms, 3.5 * ms,
+                    local_only=True),
+        ServiceSpec("mongodb-user-timeline", 1.2 * ms, 4.0 * ms,
+                    local_only=True),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+def social_endpoints() -> tuple[EndpointSpec, ...]:
+    """The suite's mixed workload: reads dominate, composes fan out."""
+    return (
+        EndpointSpec("read-home-timeline", 60.0, stages=(
+            ParallelCalls(("home-timeline",)),
+        )),
+        EndpointSpec("read-user-timeline", 30.0, stages=(
+            ParallelCalls(("user-timeline",)),
+        )),
+        EndpointSpec("compose-post", 10.0, stages=(
+            ParallelCalls(("compose-post",)),
+        )),
+    )
+
+
+def build_social_application(mesh: "ServiceMesh", client_cluster: str,
+                             balancer_factory, rng) -> CallGraphApp:
+    """Deploy the social-network app on ``mesh`` and return it."""
+    specs = social_service_specs()
+    deploy_callgraph_services(mesh, specs)
+    return CallGraphApp(
+        mesh, specs, social_endpoints(), root_service="nginx",
+        client_cluster=client_cluster, balancer_factory=balancer_factory,
+        rng=rng)

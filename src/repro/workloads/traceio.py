@@ -1,0 +1,106 @@
+"""Scenario serialization: save and load traces as JSON.
+
+The paper's scenarios are recordings of production traffic; this module
+makes ours behave the same way — a :class:`Scenario` round-trips through a
+plain JSON document, so users can export the synthetic traces, edit them,
+or feed in their own production captures (the TIER Mobility substitution
+path documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import ConfigError
+from repro.workloads.profiles import BackendProfile, PiecewiseSeries
+from repro.workloads.scenarios import Scenario
+
+FORMAT_VERSION = 1
+
+
+def _series_to_dict(series: PiecewiseSeries) -> dict:
+    return {
+        "times": list(series._times),
+        "values": list(series._values),
+        "period_s": series.period_s,
+    }
+
+
+def _series_from_dict(data: dict) -> PiecewiseSeries:
+    times = data.get("times")
+    values = data.get("values")
+    if not isinstance(times, list) or not isinstance(values, list):
+        raise ConfigError("series needs 'times' and 'values' lists")
+    if len(times) != len(values):
+        raise ConfigError(
+            f"series length mismatch: {len(times)} times, "
+            f"{len(values)} values")
+    return PiecewiseSeries(zip(times, values), period_s=data.get("period_s"))
+
+
+def scenario_to_dict(scenario: Scenario) -> dict:
+    """Serialise a scenario to a JSON-compatible dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": scenario.name,
+        "duration_s": scenario.duration_s,
+        "description": scenario.description,
+        "rps": _series_to_dict(scenario.rps),
+        "clusters": {
+            cluster: {
+                "median_latency_s": _series_to_dict(
+                    profile.median_latency_s),
+                "p99_latency_s": _series_to_dict(profile.p99_latency_s),
+                "failure_prob": _series_to_dict(profile.failure_prob),
+                "failure_latency_s": profile.failure_latency_s,
+            }
+            for cluster, profile in scenario.cluster_profiles.items()
+        },
+    }
+
+
+def scenario_from_dict(data: dict) -> Scenario:
+    """Rebuild a scenario from :func:`scenario_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported trace format version: {version!r} "
+            f"(expected {FORMAT_VERSION})")
+    clusters = data.get("clusters")
+    if not clusters:
+        raise ConfigError("a scenario needs at least one cluster")
+    profiles = {}
+    for cluster, profile_data in clusters.items():
+        profiles[cluster] = BackendProfile(
+            median_latency_s=_series_from_dict(
+                profile_data["median_latency_s"]),
+            p99_latency_s=_series_from_dict(profile_data["p99_latency_s"]),
+            failure_prob=_series_from_dict(profile_data["failure_prob"]),
+            failure_latency_s=profile_data.get("failure_latency_s", 0.05),
+        )
+    return Scenario(
+        name=data["name"],
+        duration_s=float(data["duration_s"]),
+        cluster_profiles=profiles,
+        rps=_series_from_dict(data["rps"]),
+        description=data.get("description", ""),
+    )
+
+
+def save_scenario(scenario: Scenario, path) -> None:
+    """Write a scenario to ``path`` as JSON."""
+    path = pathlib.Path(path)
+    path.write_text(
+        json.dumps(scenario_to_dict(scenario), indent=2) + "\n",
+        encoding="utf-8")
+
+
+def load_scenario(path) -> Scenario:
+    """Load a scenario saved by :func:`save_scenario`."""
+    path = pathlib.Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ConfigError(f"not a valid trace file: {path}") from error
+    return scenario_from_dict(data)

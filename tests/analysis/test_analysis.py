@@ -1,0 +1,107 @@
+"""Tests for exact percentiles and record aggregations."""
+
+import math
+
+import pytest
+
+from repro.analysis.percentiles import exact_percentile, percentile_summary
+from repro.analysis.stats import (
+    latency_timeline,
+    relative_decrease,
+    rps_timeline,
+    success_rate,
+)
+from repro.mesh.request import RequestRecord
+
+
+def record(intended=0.0, end=0.1, success=True, backend="svc/c1"):
+    return RequestRecord(
+        request_id=0, service="svc", source_cluster="c1", backend=backend,
+        intended_start_s=intended, start_s=intended, end_s=end,
+        success=success)
+
+
+class TestExactPercentile:
+    def test_single_value(self):
+        assert exact_percentile([42.0], 0.99) == 42.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            exact_percentile([], 0.5)
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            exact_percentile([1.0], 1.5)
+
+    def test_median_of_odd_count(self):
+        assert exact_percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_interpolation(self):
+        assert exact_percentile([0.0, 10.0], 0.25) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert exact_percentile(values, 0.0) == 1.0
+        assert exact_percentile(values, 1.0) == 9.0
+
+    def test_matches_numpy(self):
+        import numpy
+
+        values = [float(i) ** 1.3 for i in range(1, 200)]
+        for q in (0.5, 0.9, 0.99):
+            assert math.isclose(
+                exact_percentile(values, q),
+                float(numpy.percentile(values, q * 100)))
+
+    def test_summary_keys(self):
+        summary = percentile_summary([1.0, 2.0, 3.0])
+        assert set(summary) == {"p50", "p90", "p99"}
+
+
+class TestAggregations:
+    def test_success_rate(self):
+        records = [record(success=True)] * 3 + [record(success=False)]
+        assert success_rate(records) == 0.75
+
+    def test_success_rate_empty(self):
+        assert success_rate([]) == 1.0
+
+    def test_relative_decrease(self):
+        assert math.isclose(relative_decrease(100.0, 74.0), 0.26)
+        assert relative_decrease(100.0, 120.0) < 0
+
+    def test_relative_decrease_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            relative_decrease(0.0, 1.0)
+
+    def test_latency_timeline_buckets(self):
+        records = [
+            record(intended=1.0, end=1.1),
+            record(intended=5.0, end=5.2),
+            record(intended=15.0, end=15.4),
+        ]
+        timeline = latency_timeline(records, bucket_s=10.0)["all"]
+        assert [t for t, _p in timeline] == [0.0, 10.0]
+        first_bucket = timeline[0][1]
+        assert first_bucket["count"] == 2
+        assert "p50" in first_bucket and "p99" in first_bucket
+
+    def test_latency_timeline_grouped_by_backend(self):
+        records = [
+            record(backend="svc/c1"),
+            record(backend="svc/c2"),
+        ]
+        timeline = latency_timeline(
+            records, key=lambda r: r.backend)
+        assert set(timeline) == {"svc/c1", "svc/c2"}
+
+    def test_rps_timeline(self):
+        records = [record(intended=float(i) * 0.1) for i in range(100)]
+        series = rps_timeline(records, bucket_s=5.0)
+        assert series[0] == (0.0, 10.0)
+
+    def test_invalid_bucket_width(self):
+        with pytest.raises(ValueError):
+            latency_timeline([], bucket_s=0.0)
+        with pytest.raises(ValueError):
+            rps_timeline([], bucket_s=-1.0)

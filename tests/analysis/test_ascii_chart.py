@@ -1,0 +1,62 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis.ascii_chart import render_bar_chart, render_line_chart
+
+
+class TestLineChart:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_line_chart({})
+        with pytest.raises(ValueError):
+            render_line_chart({"s": []})
+
+    def test_renders_glyphs_and_legend(self):
+        chart = render_line_chart({
+            "rising": [(0, 0.0), (1, 1.0), (2, 2.0)],
+            "falling": [(0, 2.0), (1, 1.0), (2, 0.0)],
+        }, width=30, height=8, title="two lines")
+        assert "two lines" in chart
+        assert "* = rising" in chart
+        assert "o = falling" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_axis_labels_show_extremes(self):
+        chart = render_line_chart(
+            {"s": [(0.0, 10.0), (100.0, 90.0)]}, width=20, height=5)
+        assert "90" in chart and "10" in chart
+        assert "100" in chart and "0" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = render_line_chart({"flat": [(0, 5.0), (1, 5.0)]})
+        assert "flat" in chart
+
+    def test_dimensions_respected(self):
+        chart = render_line_chart(
+            {"s": [(0, 0), (1, 1)]}, width=40, height=10)
+        plot_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(plot_lines) == 10
+        assert all(len(l.split("|", 1)[1]) == 40 for l in plot_lines)
+
+
+class TestBarChart:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart({})
+
+    def test_non_positive_peak_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart({"a": 0.0})
+
+    def test_bars_proportional(self):
+        chart = render_bar_chart({"big": 100.0, "small": 25.0}, width=40)
+        lines = {l.split()[0]: l for l in chart.splitlines()}
+        big_bar = lines["big"].count("#")
+        small_bar = lines["small"].count("#")
+        assert big_bar == 40
+        assert 8 <= small_bar <= 12
+
+    def test_values_and_unit_shown(self):
+        chart = render_bar_chart({"l3": 68.8}, unit=" ms")
+        assert "68.8 ms" in chart

@@ -1,0 +1,55 @@
+"""Tests for the wrk2-style latency reports."""
+
+import pytest
+
+from repro.analysis.report import (
+    latency_spectrum,
+    render_comparison,
+    render_spectrum,
+)
+from repro.mesh.request import RequestRecord
+
+
+def record(latency_s):
+    return RequestRecord(
+        request_id=0, service="svc", source_cluster="c1", backend="svc/c1",
+        intended_start_s=0.0, start_s=0.0, end_s=latency_s, success=True)
+
+
+@pytest.fixture
+def records():
+    return [record(0.001 * (i + 1)) for i in range(100)]
+
+
+class TestSpectrum:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_spectrum([])
+
+    def test_spectrum_is_monotone(self, records):
+        spectrum = latency_spectrum(records)
+        values = [latency for _q, latency in spectrum]
+        assert values == sorted(values)
+
+    def test_max_is_last(self, records):
+        spectrum = dict(latency_spectrum(records))
+        assert spectrum[1.0] == pytest.approx(100.0)  # 100 ms max
+
+    def test_render_contains_percentiles_and_count(self, records):
+        text = render_spectrum(records, title="my run")
+        assert "my run" in text
+        assert "99%" in text
+        assert "99.9%" in text
+        assert "100" in text
+
+
+class TestComparison:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_comparison({})
+
+    def test_side_by_side(self, records):
+        fast = [record(r.latency_s / 2) for r in records]
+        text = render_comparison({"slow": records, "fast": fast})
+        assert "slow" in text and "fast" in text
+        assert text.count("%") >= 7

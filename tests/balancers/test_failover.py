@@ -1,0 +1,99 @@
+"""Tests for the locality-failover baseline (related-work mechanism)."""
+
+import pytest
+
+from repro.balancers.failover import FailoverBalancer
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_needs_backends(self):
+        with pytest.raises(ConfigError):
+            FailoverBalancer([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigError):
+            FailoverBalancer(["a", "a"])
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ConfigError):
+            FailoverBalancer(["a"], unhealthy_threshold=0.0)
+        with pytest.raises(ConfigError):
+            FailoverBalancer(["a"], unhealthy_threshold=1.5)
+
+    def test_window_and_ejection(self):
+        with pytest.raises(ConfigError):
+            FailoverBalancer(["a"], window=0)
+        with pytest.raises(ConfigError):
+            FailoverBalancer(["a"], ejection_s=-1.0)
+
+
+class TestFailover:
+    def test_prefers_first_backend_when_healthy(self, rng):
+        balancer = FailoverBalancer(["local", "remote"])
+        assert all(balancer.pick(rng, 0.0) == "local" for _ in range(20))
+
+    def test_fails_over_when_local_unhealthy(self, rng):
+        balancer = FailoverBalancer(
+            ["local", "remote"], unhealthy_threshold=0.5, window=10,
+            ejection_s=30.0)
+        for i in range(10):
+            balancer.on_response("local", float(i), 0.01, success=False)
+        assert balancer.pick(rng, 10.0) == "remote"
+
+    def test_recovers_after_ejection_expires(self, rng):
+        balancer = FailoverBalancer(
+            ["local", "remote"], unhealthy_threshold=0.5, window=10,
+            ejection_s=30.0)
+        for i in range(10):
+            balancer.on_response("local", float(i), 0.01, success=False)
+        assert balancer.pick(rng, 10.0) == "remote"
+        # After the ejection window the cleared health record fails open.
+        assert balancer.pick(rng, 50.0) == "local"
+
+    def test_mostly_successful_backend_stays_healthy(self, rng):
+        balancer = FailoverBalancer(
+            ["local", "remote"], unhealthy_threshold=0.5, window=10)
+        for i in range(20):
+            balancer.on_response("local", float(i), 0.01,
+                                 success=(i % 10 != 0))  # 90 % success
+        assert balancer.pick(rng, 25.0) == "local"
+
+    def test_all_unhealthy_falls_back_to_top_preference(self, rng):
+        balancer = FailoverBalancer(
+            ["a", "b"], unhealthy_threshold=0.9, window=4, ejection_s=60.0)
+        for i in range(4):
+            balancer.on_response("a", float(i), 0.01, success=False)
+            balancer.on_response("b", float(i), 0.01, success=False)
+        assert balancer.pick(rng, 5.0) == "a"
+
+    def test_few_samples_fail_open(self, rng):
+        balancer = FailoverBalancer(
+            ["local", "remote"], unhealthy_threshold=0.5, window=10)
+        balancer.on_response("local", 0.0, 0.01, success=False)
+        # One failure out of a 10-wide window is not enough to judge.
+        assert balancer.pick(rng, 1.0) == "local"
+
+
+class TestFactoryIntegration:
+    def test_factory_builds_failover_with_local_first(self, sim):
+        from repro.balancers.factory import make_balancer
+
+        balancer = make_balancer(
+            "failover", sim, "svc",
+            ["svc/cluster-2", "svc/cluster-1", "svc/cluster-3"],
+            metrics_source=None, local_cluster="cluster-2")
+        assert balancer._order[0] == "svc/cluster-2"
+
+    def test_scenario_benchmark_supports_failover(self):
+        from repro.bench.coordinator import (
+            ScenarioBenchConfig,
+            run_scenario_benchmark,
+        )
+
+        result = run_scenario_benchmark(
+            "scenario-1", "failover", duration_s=20.0, seed=3,
+            env=ScenarioBenchConfig(warmup_s=5.0, drain_s=10.0))
+        assert result.request_count > 100
+        # Healthy local cluster: everything stays local.
+        assert {r.backend for r in result.records} == {"api/cluster-1"}

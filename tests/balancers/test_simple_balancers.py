@@ -1,0 +1,94 @@
+"""Tests for round-robin, static-weight and P2C balancers."""
+
+import collections
+
+import pytest
+
+from repro.balancers.p2c import P2cPeakEwmaBalancer
+from repro.balancers.round_robin import RoundRobinBalancer
+from repro.balancers.static_weights import StaticWeightBalancer
+from repro.errors import ConfigError
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self, rng):
+        balancer = RoundRobinBalancer(["a", "b", "c"])
+        picks = [balancer.pick(rng, 0.0) for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RoundRobinBalancer([])
+        with pytest.raises(ConfigError):
+            RoundRobinBalancer(["a", "a"])
+
+    def test_exactly_equal_distribution(self, rng):
+        balancer = RoundRobinBalancer(["a", "b"])
+        counts = collections.Counter(
+            balancer.pick(rng, 0.0) for _ in range(100))
+        assert counts["a"] == counts["b"] == 50
+
+
+class TestStaticWeights:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StaticWeightBalancer({})
+        with pytest.raises(ConfigError):
+            StaticWeightBalancer({"a": -1.0})
+        with pytest.raises(ConfigError):
+            StaticWeightBalancer({"a": 0.0})
+
+    def test_pinned_backend(self, rng):
+        balancer = StaticWeightBalancer({"local": 1.0})
+        assert all(balancer.pick(rng, 0.0) == "local" for _ in range(20))
+
+    def test_weighted_distribution(self, rng):
+        balancer = StaticWeightBalancer({"a": 9.0, "b": 1.0})
+        counts = collections.Counter(
+            balancer.pick(rng, 0.0) for _ in range(10_000))
+        assert counts["a"] / (counts["a"] + counts["b"]) > 0.85
+
+
+class TestP2cPeakEwma:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            P2cPeakEwmaBalancer([])
+        with pytest.raises(ConfigError):
+            P2cPeakEwmaBalancer(["a", "a"])
+
+    def test_single_backend(self, rng):
+        balancer = P2cPeakEwmaBalancer(["only"])
+        assert balancer.pick(rng, 0.0) == "only"
+
+    def test_prefers_lower_latency_backend(self, rng):
+        balancer = P2cPeakEwmaBalancer(["fast", "slow"], start_time=0.0)
+        now = 0.0
+        # Feed both backends enough responses to separate their EWMAs.
+        for i in range(50):
+            now = float(i)
+            balancer.on_response("fast", now, 0.010, True)
+            balancer.on_response("slow", now, 0.500, True)
+        counts = collections.Counter(
+            balancer.pick(rng, now) for _ in range(1000))
+        assert counts["fast"] > 900
+
+    def test_inflight_steers_away_from_loaded(self, rng):
+        balancer = P2cPeakEwmaBalancer(["a", "b"], default_latency_s=0.1)
+        for _ in range(10):
+            balancer.on_request_sent("a", 0.0)
+        counts = collections.Counter(
+            balancer.pick(rng, 1.0) for _ in range(1000))
+        assert counts["b"] > 900
+
+    def test_inflight_never_negative(self):
+        balancer = P2cPeakEwmaBalancer(["a"])
+        balancer.on_response("a", 1.0, 0.1, True)
+        assert balancer._inflight["a"] == 0
+
+    def test_hooks_track_inflight(self):
+        balancer = P2cPeakEwmaBalancer(["a"])
+        balancer.on_request_sent("a", 0.0)
+        balancer.on_request_sent("a", 0.0)
+        assert balancer._inflight["a"] == 2
+        balancer.on_response("a", 1.0, 0.1, True)
+        assert balancer._inflight["a"] == 1

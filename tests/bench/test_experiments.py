@@ -1,0 +1,96 @@
+"""Tests for the per-figure experiment functions (tiny durations)."""
+
+import pytest
+
+from repro.bench import experiments
+
+
+class TestTraceExperiments:
+    def test_fig1_2_series_complete(self):
+        experiment = experiments.fig1_2_trace_characteristics()
+        for scenario in ("scenario-1", "scenario-2"):
+            for cluster in ("cluster-1", "cluster-2", "cluster-3"):
+                assert f"{scenario}/{cluster}/p50_ms" in experiment.series
+                assert f"{scenario}/{cluster}/p99_ms" in experiment.series
+            assert f"{scenario}/rps" in experiment.series
+        assert "Fig. 1" in experiment.render()
+
+    def test_fig6_series_complete(self):
+        experiment = experiments.fig6_trace_characteristics()
+        assert len(experiment.series) == 9  # 3 scenarios x 3 clusters
+
+    def test_series_cover_full_trace(self):
+        experiment = experiments.fig1_2_trace_characteristics(step_s=10.0)
+        series = experiment.series["scenario-1/rps"]
+        assert series[0][0] == 0.0
+        assert series[-1][0] == 600.0
+
+
+class TestFig4:
+    def test_curve_points_and_bounds(self):
+        experiment = experiments.fig4_rate_control_curves(points=21)
+        for label in ("a:wb=2000", "b:wb=500"):
+            series = experiment.series[label]
+            assert len(series) == 21
+            assert series[0][0] == pytest.approx(-1.0)
+            assert series[-1][0] == pytest.approx(3.0)
+
+
+class TestBenchmarkExperiments:
+    """Each runnable experiment at toy scale — wiring, not results."""
+
+    def test_fig8(self):
+        experiment = experiments.fig8_ewma_vs_peakewma(
+            duration_s=20.0, repetitions=1)
+        assert set(experiment.table.rows) == {
+            "round-robin", "l3-peak", "l3"}
+
+    def test_fig9(self):
+        experiment = experiments.fig9_hotel_reservation(
+            rps=30.0, duration_s=20.0, repetitions=1)
+        assert set(experiment.table.rows) == {"round-robin", "c3", "l3"}
+        assert experiment.paper["l3"] == 68.8
+
+    def test_fig10_single_scenario(self):
+        out = experiments.fig10_scenario_comparison(
+            scenarios=["scenario-5"], duration_s=20.0, repetitions=1)
+        assert set(out) == {"scenario-5"}
+        assert "round-robin" in out["scenario-5"].table.rows
+
+    def test_fig11_12(self):
+        out = experiments.fig11_12_failure_scenarios(
+            duration_s=20.0, repetitions=1)
+        assert set(out) == {"failure-1", "failure-2"}
+        for experiment in out.values():
+            for row in experiment.table.rows.values():
+                assert "success_pct" in row
+
+    def test_fig7(self):
+        experiment = experiments.fig7_penalty_factor_sweep(
+            penalties_s=(0.6,), duration_s=20.0, repetitions=1)
+        assert "l3 P=0.6s" in experiment.table.rows
+        assert "p99_dec_pct" in experiment.table.rows["l3 P=0.6s"]
+
+    def test_ablation_rate_control(self):
+        experiment = experiments.ablation_rate_control(
+            duration_s=20.0, repetitions=1)
+        assert set(experiment.table.rows) == {"l3", "l3-no-rate-control"}
+
+    def test_ablation_inflight_exponent(self):
+        experiment = experiments.ablation_inflight_exponent(
+            exponents=(1.0, 2.0), duration_s=20.0, repetitions=1)
+        assert set(experiment.table.rows) == {"k=1", "k=2"}
+
+    def test_ablation_scrape_interval(self):
+        experiment = experiments.ablation_scrape_interval(
+            intervals_s=(5.0,), duration_s=20.0, repetitions=1)
+        assert set(experiment.table.rows) == {"5s"}
+
+    def test_repetitions_average(self):
+        single = experiments.fig10_scenario_comparison(
+            scenarios=["scenario-5"], duration_s=15.0, repetitions=1)
+        double = experiments.fig10_scenario_comparison(
+            scenarios=["scenario-5"], duration_s=15.0, repetitions=2)
+        one = single["scenario-5"].table.rows["l3"]["p99_ms"]
+        two = double["scenario-5"].table.rows["l3"]["p99_ms"]
+        assert one != two  # second seed contributes

@@ -1,0 +1,55 @@
+"""Tests for result tables and comparison helpers."""
+
+import pytest
+
+from repro.bench.results import ComparisonTable, format_table
+
+
+class TestComparisonTable:
+    def test_add_and_metric(self):
+        table = ComparisonTable("t")
+        table.add("round-robin", p99_ms=100.0)
+        table.add("l3", p99_ms=74.0)
+        assert table.metric("l3", "p99_ms") == 74.0
+
+    def test_duplicate_rejected(self):
+        table = ComparisonTable("t")
+        table.add("l3", p99_ms=1.0)
+        with pytest.raises(ValueError):
+            table.add("l3", p99_ms=2.0)
+
+    def test_decrease_vs(self):
+        table = ComparisonTable("t")
+        table.add("round-robin", p99_ms=100.0)
+        table.add("l3", p99_ms=74.0)
+        assert table.decrease_vs("l3", "round-robin") == pytest.approx(0.26)
+
+    def test_render_contains_rows_and_baseline_column(self):
+        table = ComparisonTable("Fig X", baseline="round-robin")
+        table.add("round-robin", p99_ms=100.0)
+        table.add("l3", p99_ms=74.0)
+        text = table.render()
+        assert "Fig X" in text
+        assert "l3" in text
+        assert "-26.0%" in text
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(no rows)" in format_table("t", {})
+
+    def test_missing_metric_rendered_as_dash(self):
+        text = format_table("t", {
+            "a": {"p99_ms": 10.0},
+            "b": {"success_pct": 99.0},
+        })
+        assert "-" in text
+
+    def test_alignment_is_consistent(self):
+        text = format_table("t", {
+            "short": {"metric": 1.0},
+            "a-much-longer-name": {"metric": 2.0},
+        })
+        lines = [l for l in text.splitlines() if l.strip()]
+        header, separator = lines[1], lines[2]
+        assert len(separator) >= len(header.rstrip()) - 2

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng_registry() -> RngRegistry:
+    return RngRegistry(seed=1234)
+
+
+@pytest.fixture
+def rng(rng_registry):
+    return rng_registry.stream("test")

@@ -1,0 +1,75 @@
+"""Tests for L3Config validation and paper defaults (§4)."""
+
+import pytest
+
+from repro.core.config import L3Config
+from repro.core.weighting import WeightingConfig
+from repro.errors import ConfigError
+
+
+class TestPaperDefaults:
+    def test_percentile_is_p99(self):
+        assert L3Config().percentile == 0.99
+
+    def test_reconcile_every_5s_window_10s(self):
+        config = L3Config()
+        assert config.reconcile_interval_s == 5.0
+        assert config.metrics_window_s == 10.0
+
+    def test_half_lives(self):
+        config = L3Config()
+        assert config.latency_half_life_s == 5.0
+        assert config.inflight_half_life_s == 5.0
+        assert config.success_half_life_s == 10.0
+        assert config.rps_half_life_s == 10.0
+
+    def test_ewma_defaults(self):
+        config = L3Config()
+        assert config.default_latency_s == 5.0
+        assert config.default_success_rate == 1.0
+        assert config.default_rps == 0.0
+
+    def test_penalty_default(self):
+        assert L3Config().weighting.penalty_s == 0.6
+
+    def test_ewma_not_peak_by_default(self):
+        assert not L3Config().use_peak_ewma
+
+
+class TestValidation:
+    def test_percentile_bounds(self):
+        with pytest.raises(ConfigError):
+            L3Config(percentile=0.0)
+        with pytest.raises(ConfigError):
+            L3Config(percentile=1.0)
+
+    def test_alternative_percentiles_allowed(self):
+        # §3.1: P98 and P99.9 are supported configurations.
+        assert L3Config(percentile=0.98).percentile == 0.98
+        assert L3Config(percentile=0.999).percentile == 0.999
+
+    def test_window_must_cover_interval(self):
+        with pytest.raises(ConfigError):
+            L3Config(reconcile_interval_s=10.0, metrics_window_s=5.0)
+
+    def test_negative_half_life_rejected(self):
+        with pytest.raises(ConfigError):
+            L3Config(latency_half_life_s=-1.0)
+
+    def test_decay_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            L3Config(decay_fraction=0.0)
+        with pytest.raises(ConfigError):
+            L3Config(decay_fraction=1.5)
+
+    def test_success_rate_default_bounds(self):
+        with pytest.raises(ConfigError):
+            L3Config(default_success_rate=1.2)
+
+    def test_nested_weighting_config(self):
+        config = L3Config(weighting=WeightingConfig(penalty_s=1.5))
+        assert config.weighting.penalty_s == 1.5
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            L3Config().percentile = 0.5

@@ -1,0 +1,153 @@
+"""Tests for the future-work extensions: dynamic penalty, cost bias."""
+
+import math
+
+import pytest
+
+from repro.core.config import L3Config
+from repro.core.controller import L3Controller, MetricSample
+from repro.core.cost import CostConfig, apply_cost_bias
+from repro.core.weighting import BackendSnapshot, WeightingConfig, compute_weights
+from repro.errors import ConfigError
+
+
+class RecordingSink:
+    def __init__(self):
+        self.writes = []
+
+    def set_weights(self, weights, now):
+        self.writes.append((now, dict(weights)))
+
+
+class FailureAwareSource:
+    """Source that also reports failure-latency percentiles."""
+
+    def __init__(self, samples, failure_latency):
+        self.samples = samples
+        self.failure_latency = failure_latency
+
+    def collect(self, backend_names, now, window_s, percentile):
+        return {name: self.samples.get(name) for name in backend_names}
+
+    def failure_latency_quantile(self, name, now, window_s, percentile):
+        return self.failure_latency.get(name)
+
+
+class TestPenaltyOverrides:
+    def test_override_changes_weight(self):
+        snapshots = [BackendSnapshot("a", 0.1, 0.5, 100.0, 0.0)]
+        config = WeightingConfig(min_weight=0.0)
+        base = compute_weights(snapshots, config)["a"]
+        harsher = compute_weights(
+            snapshots, config, penalty_overrides={"a": 5.0})["a"]
+        assert harsher < base
+
+    def test_unlisted_backend_uses_static_penalty(self):
+        snapshots = [
+            BackendSnapshot("a", 0.1, 0.5, 100.0, 0.0),
+            BackendSnapshot("b", 0.1, 0.5, 100.0, 0.0),
+        ]
+        config = WeightingConfig(min_weight=0.0)
+        out = compute_weights(
+            snapshots, config, penalty_overrides={"a": config.penalty_s})
+        assert math.isclose(out["a"], out["b"])
+
+    def test_negative_override_rejected(self):
+        snapshots = [BackendSnapshot("a", 0.1, 1.0, 100.0, 0.0)]
+        with pytest.raises(ValueError):
+            compute_weights(snapshots, penalty_overrides={"a": -1.0})
+
+
+class TestDynamicPenaltyController:
+    def make(self, failure_latency, **config_kwargs):
+        samples = {
+            "cheap-failures": MetricSample(0.1, 0.5, 100.0, 0.0),
+            "costly-failures": MetricSample(0.1, 0.5, 100.0, 0.0),
+        }
+        source = FailureAwareSource(samples, failure_latency)
+        sink = RecordingSink()
+        controller = L3Controller(
+            list(samples), source, sink,
+            L3Config(dynamic_penalty=True, **config_kwargs))
+        return controller
+
+    def test_costly_failures_get_lower_weight(self):
+        controller = self.make({
+            "cheap-failures": 0.01,
+            "costly-failures": 2.0,
+        })
+        for t in range(1, 15):
+            controller.reconcile(float(t * 5))
+        weights = controller.last_weights
+        assert weights["cheap-failures"] > weights["costly-failures"]
+
+    def test_no_failure_data_holds_static_penalty(self):
+        controller = self.make({})
+        controller.reconcile(5.0)
+        for state in controller.backends.values():
+            assert state.failure_latency.value == pytest.approx(0.6)
+
+    def test_disabled_by_default(self):
+        source = FailureAwareSource(
+            {"a": MetricSample(0.1, 1.0, 10.0, 0.0)}, {"a": 9.0})
+        controller = L3Controller(["a"], source, RecordingSink(), L3Config())
+        controller.reconcile(5.0)
+        assert controller.backends["a"].failure_latency.value == pytest.approx(0.6)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            L3Config(dynamic_penalty_percentile=0.0)
+        with pytest.raises(ConfigError):
+            L3Config(dynamic_penalty_half_life_s=0.0)
+
+
+class TestCostBias:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CostConfig(source_cluster="")
+        with pytest.raises(ConfigError):
+            CostConfig(source_cluster="c1", cost_weight=-1.0)
+        with pytest.raises(ConfigError):
+            CostConfig(source_cluster="c1", egress_cost={"c2": -0.5})
+
+    def test_local_traffic_is_free(self):
+        config = CostConfig(source_cluster="c1")
+        assert config.cost_to("c1") == 0.0
+        assert config.cost_to("c2") == 1.0
+
+    def test_bias_lowers_remote_weights_only(self):
+        config = CostConfig(source_cluster="c1", cost_weight=1.0)
+        weights = {"svc/c1": 1000.0, "svc/c2": 1000.0}
+        out = apply_cost_bias(weights, config, min_weight=0.0)
+        assert out["svc/c1"] == 1000.0
+        assert out["svc/c2"] == 500.0
+
+    def test_zero_weight_disables_bias(self):
+        config = CostConfig(source_cluster="c1", cost_weight=0.0)
+        weights = {"svc/c1": 1000.0, "svc/c2": 1000.0}
+        assert apply_cost_bias(weights, config) == weights
+
+    def test_custom_per_cluster_pricing(self):
+        config = CostConfig(
+            source_cluster="c1",
+            egress_cost={"c2": 0.0, "c3": 4.0},  # c2 is a free zone
+            cost_weight=1.0)
+        weights = {"s/c2": 1000.0, "s/c3": 1000.0}
+        out = apply_cost_bias(weights, config, min_weight=0.0)
+        assert out["s/c2"] == 1000.0
+        assert out["s/c3"] == 200.0
+
+    def test_controller_integration(self):
+        samples = {
+            "svc/c1": MetricSample(0.1, 1.0, 100.0, 0.0),
+            "svc/c2": MetricSample(0.1, 1.0, 100.0, 0.0),
+        }
+        source = FailureAwareSource(samples, {})
+        sink = RecordingSink()
+        cost = CostConfig(source_cluster="c1", cost_weight=2.0)
+        controller = L3Controller(
+            list(samples), source, sink, L3Config(cost=cost))
+        for t in range(1, 10):
+            controller.reconcile(float(t * 5))
+        weights = controller.last_weights
+        assert weights["svc/c1"] > weights["svc/c2"] * 2

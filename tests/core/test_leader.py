@@ -1,0 +1,148 @@
+"""Tests for lease-based leader election (paper §4 HA mode)."""
+
+import pytest
+
+from repro.core.leader import ControllerReplica, LeaseLock
+from repro.errors import ConfigError
+
+
+class CountingController:
+    def __init__(self):
+        self.reconciles = []
+
+    def reconcile(self, now):
+        self.reconciles.append(now)
+
+
+class TestLeaseLock:
+    def test_ttl_validation(self):
+        with pytest.raises(ConfigError):
+            LeaseLock(ttl_s=0.0)
+
+    def test_first_candidate_acquires(self):
+        lease = LeaseLock(ttl_s=10.0)
+        assert lease.try_acquire("a", now=0.0)
+        assert lease.holder(5.0) == "a"
+
+    def test_second_candidate_blocked_while_held(self):
+        lease = LeaseLock(ttl_s=10.0)
+        lease.try_acquire("a", now=0.0)
+        assert not lease.try_acquire("b", now=5.0)
+        assert lease.holder(5.0) == "a"
+
+    def test_holder_renews(self):
+        lease = LeaseLock(ttl_s=10.0)
+        lease.try_acquire("a", now=0.0)
+        assert lease.try_acquire("a", now=8.0)  # renew
+        assert lease.holder(17.0) == "a"        # ttl from renewal
+
+    def test_expiry_allows_takeover(self):
+        lease = LeaseLock(ttl_s=10.0)
+        lease.try_acquire("a", now=0.0)
+        assert lease.holder(10.0) is None  # expired exactly at ttl
+        assert lease.try_acquire("b", now=10.0)
+        assert lease.holder(12.0) == "b"
+
+    def test_release_lets_others_in_immediately(self):
+        lease = LeaseLock(ttl_s=100.0)
+        lease.try_acquire("a", now=0.0)
+        lease.release("a", now=1.0)
+        assert lease.try_acquire("b", now=1.0)
+
+    def test_release_by_non_holder_is_noop(self):
+        lease = LeaseLock(ttl_s=100.0)
+        lease.try_acquire("a", now=0.0)
+        lease.release("b", now=1.0)
+        assert lease.holder(2.0) == "a"
+
+    def test_transitions_recorded(self):
+        lease = LeaseLock(ttl_s=10.0)
+        lease.try_acquire("a", now=0.0)
+        lease.try_acquire("a", now=5.0)   # renewal: no transition
+        lease.try_acquire("b", now=20.0)  # takeover
+        assert lease.transitions == [(0.0, "a"), (20.0, "b")]
+
+
+class TestControllerReplica:
+    def test_interval_validation(self):
+        with pytest.raises(ConfigError):
+            ControllerReplica("r", CountingController(), LeaseLock(),
+                              interval_s=0.0)
+
+    def test_only_leader_reconciles(self, sim):
+        lease = LeaseLock(ttl_s=12.0)
+        controllers = [CountingController() for _ in range(3)]
+        replicas = [
+            ControllerReplica(f"replica-{i}", controller, lease,
+                              interval_s=5.0)
+            for i, controller in enumerate(controllers)
+        ]
+        loops = [sim.spawn(replica.run(sim)) for replica in replicas]
+        sim.run(until=60.0)
+        for loop in loops:
+            loop.interrupt()
+        sim.run()
+        active = [c for c in controllers if c.reconciles]
+        assert len(active) == 1
+        assert len(active[0].reconciles) == 12  # every 5 s for 60 s
+
+    def test_failover_after_leader_crash(self, sim):
+        lease = LeaseLock(ttl_s=12.0)
+        controllers = [CountingController(), CountingController()]
+        replicas = [
+            ControllerReplica(f"replica-{i}", controller, lease,
+                              interval_s=5.0)
+            for i, controller in enumerate(controllers)
+        ]
+        loops = [sim.spawn(replica.run(sim)) for replica in replicas]
+        # replica-0 wins the first election (tie broken by spawn order).
+        sim.run(until=20.0)
+        leader_index = 0 if replicas[0].is_leader(20.0) else 1
+        standby_index = 1 - leader_index
+        replicas[leader_index].crash()
+        sim.run(until=60.0)
+        for loop in loops:
+            loop.interrupt()
+        sim.run()
+        # The standby took over within the lease TTL and kept reconciling.
+        assert controllers[standby_index].reconciles
+        takeover = controllers[standby_index].reconciles[0]
+        assert takeover <= 20.0 + lease.ttl_s + 5.0
+        assert len(lease.transitions) == 2
+
+    def test_crashed_replica_can_recover_and_rejoin(self, sim):
+        lease = LeaseLock(ttl_s=10.0)
+        controller = CountingController()
+        replica = ControllerReplica("solo", controller, lease,
+                                    interval_s=5.0)
+        loop = sim.spawn(replica.run(sim))
+        sim.run(until=12.0)
+        replica.crash()
+        sim.run(until=30.0)
+        count_at_crash = len(controller.reconciles)
+        replica.recover()
+        sim.run(until=50.0)
+        loop.interrupt()
+        sim.run()
+        assert len(controller.reconciles) > count_at_crash
+
+    def test_reconcile_gap_bounded_by_ttl_plus_interval(self, sim):
+        lease = LeaseLock(ttl_s=12.0)
+        controllers = [CountingController(), CountingController()]
+        replicas = [
+            ControllerReplica(f"replica-{i}", controller, lease,
+                              interval_s=5.0)
+            for i, controller in enumerate(controllers)
+        ]
+        loops = [sim.spawn(replica.run(sim)) for replica in replicas]
+        sim.run(until=20.0)
+        leader_index = 0 if replicas[0].is_leader(20.0) else 1
+        replicas[leader_index].crash()
+        sim.run(until=80.0)
+        for loop in loops:
+            loop.interrupt()
+        sim.run()
+        all_reconciles = sorted(
+            controllers[0].reconciles + controllers[1].reconciles)
+        gaps = [b - a for a, b in zip(all_reconciles, all_reconciles[1:])]
+        assert max(gaps) <= lease.ttl_s + 5.0 + 1e-9

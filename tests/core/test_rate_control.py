@@ -1,0 +1,135 @@
+"""Tests for the rate-control algorithm (Algorithm 2, Eq. 5)."""
+
+import math
+
+import pytest
+
+from repro.core.rate_control import (
+    adjust_weight,
+    apply_rate_control,
+    relative_change,
+)
+from repro.errors import ConfigError
+
+
+class TestRelativeChange:
+    def test_no_change(self):
+        assert relative_change(100.0, 100.0) == 0.0
+
+    def test_increase(self):
+        assert math.isclose(relative_change(100.0, 150.0), 0.5)
+
+    def test_decrease(self):
+        assert math.isclose(relative_change(100.0, 50.0), -0.5)
+
+    def test_zero_ewma_no_traffic(self):
+        assert relative_change(0.0, 0.0) == 0.0
+
+    def test_zero_ewma_with_traffic_is_capped_surge(self):
+        change = relative_change(0.0, 10.0)
+        assert change > 1000.0 and math.isfinite(change)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            relative_change(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            relative_change(10.0, -1.0)
+
+    def test_extreme_values_stay_finite(self):
+        assert math.isfinite(relative_change(1e-12, 1e12))
+
+
+class TestAdjustWeight:
+    def test_zero_change_is_identity(self):
+        assert adjust_weight(1234.0, 1000.0, 0.0) == 1234.0
+
+    def test_increase_pulls_toward_mean_from_above(self):
+        adjusted = adjust_weight(2000.0, 1000.0, 1.0)
+        assert 1000.0 < adjusted < 2000.0
+
+    def test_increase_pulls_toward_mean_from_below(self):
+        adjusted = adjust_weight(500.0, 1000.0, 1.0)
+        assert 500.0 < adjusted < 1000.0
+
+    def test_large_increase_converges_to_mean(self):
+        assert math.isclose(
+            adjust_weight(2000.0, 1000.0, 1e6), 1000.0, rel_tol=1e-6)
+
+    def test_eq5_exact_value(self):
+        damping = (1.0 + 1.0) ** 1.5
+        expected = 1000.0 - 1000.0 / damping + 2000.0 / damping
+        assert math.isclose(adjust_weight(2000.0, 1000.0, 1.0), expected)
+
+    def test_decrease_boosts_above_average(self):
+        assert adjust_weight(2000.0, 1000.0, -0.5) > 2000.0
+
+    def test_decrease_shrinks_below_average(self):
+        assert adjust_weight(500.0, 1000.0, -0.5) < 500.0
+
+    def test_decrease_boost_bounded_by_mirror(self):
+        # The boosted weight approaches (but never exceeds) 2*w_b - w_mu.
+        boosted = adjust_weight(2000.0, 1000.0, -100.0)
+        assert boosted < 2.0 * 2000.0 - 1000.0
+        assert boosted > 2000.0
+
+    def test_weight_equal_to_mean_shrinks_on_decrease(self):
+        # Algorithm 2 line 7: w_b <= w_mu branch includes equality.
+        adjusted = adjust_weight(1000.0, 1000.0, -0.5)
+        assert adjusted < 1000.0
+
+    def test_monotone_in_change_for_increase(self):
+        values = [
+            adjust_weight(2000.0, 1000.0, c)
+            for c in (0.1, 0.5, 1.0, 2.0, 3.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+
+class TestApplyRateControl:
+    def test_empty_weights(self):
+        assert apply_rate_control({}, 100.0, 100.0) == {}
+
+    def test_no_change_preserves_weights(self):
+        weights = {"a": 2000.0, "b": 500.0}
+        out = apply_rate_control(weights, 100.0, 100.0)
+        assert out == weights
+
+    def test_input_not_mutated(self):
+        weights = {"a": 2000.0, "b": 500.0}
+        apply_rate_control(weights, 100.0, 200.0)
+        assert weights == {"a": 2000.0, "b": 500.0}
+
+    def test_surge_compresses_spread(self):
+        weights = {"a": 3000.0, "b": 1000.0, "c": 500.0}
+        out = apply_rate_control(weights, 100.0, 400.0)
+        spread_before = max(weights.values()) - min(weights.values())
+        spread_after = max(out.values()) - min(out.values())
+        assert spread_after < spread_before
+
+    def test_drop_expands_spread(self):
+        weights = {"a": 3000.0, "b": 1000.0, "c": 500.0}
+        out = apply_rate_control(weights, 100.0, 50.0)
+        spread_before = max(weights.values()) - min(weights.values())
+        spread_after = max(out.values()) - min(out.values())
+        assert spread_after > spread_before
+
+    def test_floor_enforced(self):
+        weights = {"a": 1.0, "b": 10000.0}
+        out = apply_rate_control(weights, 100.0, 50.0, min_weight=1.0)
+        assert all(weight >= 1.0 for weight in out.values())
+
+    def test_negative_min_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            apply_rate_control({"a": 1.0}, 1.0, 1.0, min_weight=-1.0)
+
+    def test_mean_preserved_under_surge(self):
+        # Eq. 5 moves every weight toward the mean without changing it.
+        weights = {"a": 3000.0, "b": 1000.0, "c": 500.0}
+        mean_before = sum(weights.values()) / 3
+        out = apply_rate_control(weights, 100.0, 400.0, min_weight=0.0)
+        mean_after = sum(out.values()) / 3
+        assert math.isclose(mean_before, mean_after)
+
+    def test_single_backend_unchanged_by_surge(self):
+        out = apply_rate_control({"only": 700.0}, 10.0, 100.0)
+        assert math.isclose(out["only"], 700.0)

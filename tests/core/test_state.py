@@ -1,0 +1,87 @@
+"""Tests for per-backend metric state (§4 defaults and staleness)."""
+
+import pytest
+
+from repro.core.config import L3Config
+from repro.core.ewma import Ewma, PeakEwma
+from repro.core.state import BackendMetricState
+
+
+@pytest.fixture
+def state():
+    return BackendMetricState("api/cluster-1", L3Config(), now=0.0)
+
+
+class TestDefaults:
+    def test_starts_at_paper_defaults(self, state):
+        snap = state.snapshot()
+        assert snap.latency_s == 5.0
+        assert snap.success_rate == 1.0
+        assert snap.rps == 0.0
+        assert snap.inflight == 0.0
+
+    def test_peak_ewma_selected_by_config(self):
+        peaky = BackendMetricState(
+            "b", L3Config(use_peak_ewma=True), now=0.0)
+        assert isinstance(peaky.latency, PeakEwma)
+        plain = BackendMetricState("b", L3Config(), now=0.0)
+        assert isinstance(plain.latency, Ewma)
+        assert not isinstance(plain.latency, PeakEwma)
+
+
+class TestObserve:
+    def test_observe_updates_all_filters(self, state):
+        state.observe(10.0, latency_s=0.2, success_rate=0.9, rps=50.0,
+                      inflight=3.0)
+        snap = state.snapshot()
+        assert snap.latency_s < 5.0
+        assert snap.success_rate < 1.0
+        assert snap.rps > 0.0
+        assert snap.inflight > 0.0
+
+    def test_none_latency_leaves_latency_filter_untouched(self, state):
+        state.observe(10.0, latency_s=None, success_rate=0.5, rps=50.0,
+                      inflight=1.0)
+        assert state.latency.value == 5.0
+        assert state.success_rate.value < 1.0
+
+    def test_observe_advances_sample_time(self, state):
+        state.observe(12.0, 0.1, 1.0, 10.0, 0.0)
+        assert state.last_sample_time == 12.0
+
+
+class TestStaleness:
+    def test_not_stale_before_threshold(self, state):
+        state.observe(10.0, 0.1, 1.0, 10.0, 0.0)
+        assert not state.is_stale(15.0)
+
+    def test_stale_after_threshold(self, state):
+        state.observe(10.0, 0.1, 1.0, 10.0, 0.0)
+        assert state.is_stale(20.0)
+
+    def test_decay_moves_filters_toward_defaults(self, state):
+        for t in range(1, 20):
+            state.observe(float(t), 0.05, 0.8, 100.0, 5.0)
+        before = state.snapshot()
+        state.decay_toward_defaults(40.0)
+        after = state.snapshot()
+        assert abs(after.latency_s - 5.0) < abs(before.latency_s - 5.0)
+        assert abs(after.success_rate - 1.0) < abs(before.success_rate - 1.0)
+        assert after.rps < before.rps
+
+
+class TestSnapshotClamping:
+    def test_snapshot_clamps_success_rate(self, state):
+        # Drive the EWMA value out of range artificially and confirm the
+        # snapshot clamps — the weighting algorithm requires [0, 1].
+        state.success_rate._value = 1.3
+        assert state.snapshot().success_rate == 1.0
+        state.success_rate._value = -0.2
+        assert state.snapshot().success_rate == 0.0
+
+    def test_snapshot_clamps_negative_values(self, state):
+        state.rps._value = -5.0
+        state.inflight._value = -2.0
+        snap = state.snapshot()
+        assert snap.rps == 0.0
+        assert snap.inflight == 0.0

@@ -1,0 +1,170 @@
+"""Tests for the weighting algorithm (Algorithm 1, Eq. 3, Eq. 4)."""
+
+import math
+
+import pytest
+
+from repro.core.weighting import (
+    BackendSnapshot,
+    WeightingConfig,
+    backend_weight,
+    compute_weights,
+    estimate_latency,
+)
+from repro.errors import ConfigError
+
+
+def snapshot(name="b", latency=0.1, success=1.0, rps=100.0, inflight=0.0):
+    return BackendSnapshot(name, latency, success, rps, inflight)
+
+
+class TestSnapshotValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            snapshot(latency=-0.1)
+
+    def test_success_rate_bounds(self):
+        with pytest.raises(ValueError):
+            snapshot(success=1.5)
+        with pytest.raises(ValueError):
+            snapshot(success=-0.1)
+
+    def test_negative_rps_rejected(self):
+        with pytest.raises(ValueError):
+            snapshot(rps=-1.0)
+
+    def test_negative_inflight_rejected(self):
+        with pytest.raises(ValueError):
+            snapshot(inflight=-1.0)
+
+
+class TestConfigValidation:
+    def test_defaults_are_paper_values(self):
+        config = WeightingConfig()
+        assert config.penalty_s == 0.6
+        assert config.inflight_exponent == 2.0
+        assert config.min_weight == 1.0
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ConfigError):
+            WeightingConfig(penalty_s=-0.1)
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            WeightingConfig(weight_scale=0.0)
+
+
+class TestEstimateLatency:
+    def test_perfect_success_rate_adds_nothing(self):
+        assert estimate_latency(0.1, 1.0, 0.6) == 0.1
+
+    def test_eq3_formula(self):
+        # R_s = 0.5 -> expected 2 tries -> one extra penalty.
+        assert math.isclose(estimate_latency(0.1, 0.5, 0.6), 0.1 + 0.6)
+
+    def test_zero_success_rate_falls_back_to_raw_latency(self):
+        # Algorithm 1 lines 10-11: avoid division by zero.
+        assert estimate_latency(0.25, 0.0, 0.6) == 0.25
+
+    def test_lower_success_rate_higher_estimate(self):
+        estimates = [
+            estimate_latency(0.1, rate, 0.6)
+            for rate in (1.0, 0.9, 0.5, 0.25)
+        ]
+        assert estimates == sorted(estimates)
+
+    def test_zero_penalty_ignores_failures(self):
+        assert estimate_latency(0.1, 0.5, 0.0) == 0.1
+
+
+class TestBackendWeight:
+    def test_reciprocal_in_latency(self):
+        config = WeightingConfig(min_weight=0.0)
+        fast = backend_weight(snapshot(latency=0.05), config)
+        slow = backend_weight(snapshot(latency=0.5), config)
+        assert math.isclose(fast / slow, 10.0)
+
+    def test_inflight_normalisation_by_rps(self):
+        config = WeightingConfig(min_weight=0.0)
+        # Same normalised in-flight (R_i = 0.05) -> same weight.
+        a = backend_weight(snapshot(rps=100.0, inflight=5.0), config)
+        b = backend_weight(snapshot(rps=200.0, inflight=10.0), config)
+        assert math.isclose(a, b)
+
+    def test_zero_rps_means_zero_normalised_inflight(self):
+        config = WeightingConfig(min_weight=0.0)
+        idle = backend_weight(snapshot(rps=0.0, inflight=50.0), config)
+        clean = backend_weight(snapshot(rps=100.0, inflight=0.0), config)
+        assert math.isclose(idle, clean)
+
+    def test_negligible_rps_also_skips_normalisation(self):
+        # A decaying RPS EWMA never reaches exactly zero; dividing a
+        # decaying in-flight EWMA by it would be noise, so below the
+        # meaningful-traffic floor R_i is treated as 0 (Algorithm 1's
+        # "R_rps != 0" guard, interpreted as "has meaningful traffic").
+        config = WeightingConfig(min_weight=0.0)
+        ghost = backend_weight(snapshot(rps=1e-9, inflight=0.05), config)
+        clean = backend_weight(snapshot(rps=100.0, inflight=0.0), config)
+        assert math.isclose(ghost, clean)
+
+    def test_meaningful_rps_is_normalised(self):
+        config = WeightingConfig(min_weight=0.0)
+        loaded = backend_weight(snapshot(rps=1.0, inflight=1.0), config)
+        clean = backend_weight(snapshot(rps=1.0, inflight=0.0), config)
+        assert math.isclose(clean / loaded, 4.0)
+
+    def test_squared_inflight_term(self):
+        config = WeightingConfig(min_weight=0.0)
+        # R_i = 1 -> (1+1)^2 = 4x weight reduction.
+        loaded = backend_weight(snapshot(rps=10.0, inflight=10.0), config)
+        clean = backend_weight(snapshot(inflight=0.0), config)
+        assert math.isclose(clean / loaded, 4.0)
+
+    def test_configurable_exponent(self):
+        cubic = WeightingConfig(min_weight=0.0, inflight_exponent=3.0)
+        loaded = backend_weight(snapshot(rps=10.0, inflight=10.0), cubic)
+        clean = backend_weight(snapshot(inflight=0.0), cubic)
+        assert math.isclose(clean / loaded, 8.0)
+
+    def test_weight_floor_applies(self):
+        config = WeightingConfig(min_weight=1.0, weight_scale=1e-6)
+        assert backend_weight(snapshot(latency=100.0), config) == 1.0
+
+    def test_zero_latency_does_not_explode(self):
+        config = WeightingConfig()
+        weight = backend_weight(snapshot(latency=0.0), config)
+        assert math.isfinite(weight)
+
+    def test_failure_lowers_weight(self):
+        config = WeightingConfig(min_weight=0.0)
+        healthy = backend_weight(snapshot(success=1.0), config)
+        failing = backend_weight(snapshot(success=0.5), config)
+        assert failing < healthy
+
+
+class TestComputeWeights:
+    def test_orders_by_latency(self):
+        weights = compute_weights([
+            snapshot("fast", latency=0.01),
+            snapshot("medium", latency=0.1),
+            snapshot("slow", latency=1.0),
+        ])
+        assert weights["fast"] > weights["medium"] > weights["slow"]
+
+    def test_empty_input_gives_empty_output(self):
+        assert compute_weights([]) == {}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            compute_weights([snapshot("x"), snapshot("x")])
+
+    def test_all_weights_at_least_min(self):
+        config = WeightingConfig(min_weight=2.5)
+        weights = compute_weights(
+            [snapshot(f"b{i}", latency=float(i + 1) * 100) for i in range(5)],
+            config)
+        assert all(weight >= 2.5 for weight in weights.values())
+
+    def test_default_config_used_when_none(self):
+        weights = compute_weights([snapshot("only")])
+        assert "only" in weights

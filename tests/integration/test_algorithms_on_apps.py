@@ -1,0 +1,65 @@
+"""Every algorithm on every application — wiring completeness matrix."""
+
+import pytest
+
+from repro.bench.coordinator import (
+    ScenarioBenchConfig,
+    run_hotel_benchmark,
+    run_scenario_benchmark,
+    run_social_benchmark,
+)
+from repro.balancers.factory import BALANCER_NAMES
+
+ENV = ScenarioBenchConfig(warmup_s=10.0, drain_s=10.0)
+
+
+class TestAlgorithmMatrix:
+    @pytest.mark.parametrize("algorithm", BALANCER_NAMES)
+    def test_scenario_runs_under_every_algorithm(self, algorithm):
+        result = run_scenario_benchmark(
+            "scenario-5", algorithm, duration_s=20.0, seed=4, env=ENV)
+        assert result.request_count > 100
+        assert result.p99_ms > 0
+
+    @pytest.mark.parametrize("algorithm", ["failover", "p2c"])
+    def test_hotel_runs_under_extension_algorithms(self, algorithm):
+        result = run_hotel_benchmark(
+            algorithm, rps=40.0, duration_s=25.0, seed=4, env=ENV)
+        assert result.request_count > 500
+        assert result.success_rate == 1.0
+
+    def test_social_runs_under_c3(self):
+        result = run_social_benchmark(
+            "c3", rps=40.0, duration_s=25.0, seed=4, env=ENV)
+        assert result.request_count > 500
+
+
+class TestFailoverBehaviour:
+    def test_failover_keeps_everything_local_when_healthy(self):
+        result = run_scenario_benchmark(
+            "scenario-5", "failover", duration_s=20.0, seed=4, env=ENV)
+        assert {r.backend for r in result.records} == {"api/cluster-1"}
+
+    def test_failover_moves_off_a_broken_local_cluster(self):
+        from repro.workloads.profiles import (
+            BackendProfile,
+            constant_series,
+        )
+        from repro.workloads.scenarios import Scenario
+
+        profiles = {}
+        for cluster in ("cluster-1", "cluster-2", "cluster-3"):
+            broken = cluster == "cluster-1"  # the client's own cluster
+            profiles[cluster] = BackendProfile(
+                median_latency_s=constant_series(0.030),
+                p99_latency_s=constant_series(0.090),
+                failure_prob=constant_series(0.9 if broken else 0.0),
+            )
+        scenario = Scenario("local-broken", 600.0, profiles,
+                            constant_series(100.0))
+        result = run_scenario_benchmark(
+            scenario, "failover", duration_s=60.0, seed=4, env=ENV)
+        remote = sum(
+            1 for r in result.records if r.backend != "api/cluster-1")
+        assert remote / result.request_count > 0.8
+        assert result.success_rate > 0.85

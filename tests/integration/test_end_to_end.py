@@ -1,0 +1,135 @@
+"""Integration tests: the whole pipeline, small but realistic runs.
+
+These reproduce the paper's qualitative claims on scaled-down runs — they
+are the "does the system actually do what the paper says" tests, distinct
+from the full-length benchmark suite.
+"""
+
+import pytest
+
+from repro.bench.coordinator import (
+    ScenarioBenchConfig,
+    run_hotel_benchmark,
+    run_scenario_benchmark,
+)
+from repro.core.config import L3Config
+from repro.workloads.profiles import (
+    BackendProfile,
+    constant_series,
+    PiecewiseSeries,
+)
+from repro.workloads.scenarios import Scenario
+
+ENV = ScenarioBenchConfig(warmup_s=20.0, drain_s=15.0)
+
+
+def asymmetric_scenario(slow_cluster="cluster-2", name="asymmetric"):
+    """One cluster is 10x slower — the clearest possible signal."""
+    profiles = {}
+    for cluster in ("cluster-1", "cluster-2", "cluster-3"):
+        slow = cluster == slow_cluster
+        profiles[cluster] = BackendProfile(
+            median_latency_s=constant_series(0.400 if slow else 0.040),
+            p99_latency_s=constant_series(1.200 if slow else 0.120),
+            failure_prob=constant_series(0.0),
+        )
+    return Scenario(name, 600.0, profiles, constant_series(150.0))
+
+
+class TestLatencyAwareSteering:
+    def test_l3_avoids_the_slow_cluster(self):
+        result = run_scenario_benchmark(
+            asymmetric_scenario(), "l3", duration_s=90.0, seed=3, env=ENV)
+        from collections import Counter
+
+        counts = Counter(r.backend for r in result.records)
+        slow_share = counts["api/cluster-2"] / result.request_count
+        assert slow_share < 0.15, f"slow cluster got {slow_share:.1%}"
+
+    def test_l3_beats_round_robin_on_asymmetric_load(self):
+        l3 = run_scenario_benchmark(
+            asymmetric_scenario(), "l3", duration_s=90.0, seed=3, env=ENV)
+        rr = run_scenario_benchmark(
+            asymmetric_scenario(), "round-robin", duration_s=90.0, seed=3,
+            env=ENV)
+        assert l3.p99_ms < rr.p99_ms * 0.8
+        assert l3.p50_ms < rr.p50_ms
+
+    def test_weights_reflect_latency_order(self):
+        result = run_scenario_benchmark(
+            asymmetric_scenario(), "l3", duration_s=90.0, seed=3, env=ENV)
+        weights = result.controller_weights
+        assert weights["api/cluster-1"] > weights["api/cluster-2"]
+        assert weights["api/cluster-3"] > weights["api/cluster-2"]
+
+
+class TestSuccessRateSteering:
+    def failing_scenario(self):
+        profiles = {}
+        for cluster in ("cluster-1", "cluster-2", "cluster-3"):
+            failing = cluster == "cluster-3"
+            profiles[cluster] = BackendProfile(
+                median_latency_s=constant_series(0.050),
+                p99_latency_s=constant_series(0.150),
+                failure_prob=constant_series(0.35 if failing else 0.0),
+            )
+        return Scenario("one-failing", 600.0, profiles,
+                        constant_series(150.0))
+
+    def test_l3_improves_success_rate_over_round_robin(self):
+        l3 = run_scenario_benchmark(
+            self.failing_scenario(), "l3", duration_s=90.0, seed=3, env=ENV)
+        rr = run_scenario_benchmark(
+            self.failing_scenario(), "round-robin", duration_s=90.0, seed=3,
+            env=ENV)
+        # Round-robin sends 1/3 of traffic into the 35 % failure zone.
+        assert rr.success_rate < 0.92
+        assert l3.success_rate > rr.success_rate + 0.03
+
+    def test_larger_penalty_factor_raises_success_rate(self):
+        from repro.core.weighting import WeightingConfig
+
+        small = run_scenario_benchmark(
+            self.failing_scenario(), "l3", duration_s=90.0, seed=3, env=ENV,
+            l3_config=L3Config(weighting=WeightingConfig(penalty_s=0.05)))
+        large = run_scenario_benchmark(
+            self.failing_scenario(), "l3", duration_s=90.0, seed=3, env=ENV,
+            l3_config=L3Config(weighting=WeightingConfig(penalty_s=2.0)))
+        assert large.success_rate >= small.success_rate
+
+
+class TestRateControlBehaviour:
+    def surge_scenario(self):
+        profiles = {
+            cluster: BackendProfile(
+                median_latency_s=constant_series(0.030),
+                p99_latency_s=constant_series(0.090),
+                failure_prob=constant_series(0.0),
+            )
+            for cluster in ("cluster-1", "cluster-2", "cluster-3")
+        }
+        rps = PiecewiseSeries(
+            [(0.0, 50.0), (60.0, 50.0), (61.0, 400.0), (120.0, 400.0)])
+        return Scenario("surge", 600.0, profiles, rps)
+
+    def test_surge_survives_with_rate_control(self):
+        result = run_scenario_benchmark(
+            self.surge_scenario(), "l3", duration_s=100.0, seed=3, env=ENV)
+        assert result.success_rate == 1.0
+        assert result.request_count > 5000
+
+
+class TestHotelIntegration:
+    @pytest.mark.parametrize("algorithm", ["round-robin", "c3", "l3", "p2c"])
+    def test_all_algorithms_complete(self, algorithm):
+        result = run_hotel_benchmark(
+            algorithm, rps=50.0, duration_s=40.0, seed=2, env=ENV)
+        assert result.request_count > 1000
+        assert result.success_rate == 1.0
+
+    def test_latency_aware_beats_round_robin_median(self):
+        rr = run_hotel_benchmark(
+            "round-robin", rps=50.0, duration_s=60.0, seed=2, env=ENV)
+        l3 = run_hotel_benchmark(
+            "l3", rps=50.0, duration_s=60.0, seed=2, env=ENV)
+        assert l3.p50_ms < rr.p50_ms

@@ -1,0 +1,95 @@
+"""Tests for the WAN latency model."""
+
+import statistics
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mesh.network import LOCAL_LINK, NetworkModel, WanLink
+
+
+class TestWanLink:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WanLink(base_delay_s=-1.0)
+        with pytest.raises(ConfigError):
+            WanLink(base_delay_s=0.01, jitter_p99_ratio=0.5)
+        with pytest.raises(ConfigError):
+            WanLink(base_delay_s=0.01, drift_amplitude=1.5)
+        with pytest.raises(ConfigError):
+            WanLink(base_delay_s=0.01, spike_prob=2.0)
+        with pytest.raises(ConfigError):
+            WanLink(base_delay_s=0.01, spike_multiplier=0.5)
+
+    def test_zero_base_delay_is_always_zero(self, rng):
+        link = WanLink(base_delay_s=0.0)
+        assert link.delay(rng, 0.0) == 0.0
+
+    def test_delays_are_positive(self, rng):
+        link = WanLink(base_delay_s=0.010)
+        assert all(link.delay(rng, t * 0.1) > 0 for t in range(1000))
+
+    def test_median_near_base(self, rng):
+        link = WanLink(base_delay_s=0.010, drift_amplitude=0.0,
+                       spike_prob=0.0)
+        samples = sorted(link.delay(rng, 0.0) for _ in range(10_000))
+        median = samples[len(samples) // 2]
+        assert 0.009 < median < 0.011
+
+    def test_jitter_disabled_is_deterministic(self, rng):
+        link = WanLink(base_delay_s=0.010, jitter_p99_ratio=1.0,
+                       drift_amplitude=0.0, spike_prob=0.0)
+        delays = {link.delay(rng, 5.0) for _ in range(100)}
+        assert delays == {0.010}
+
+    def test_drift_moves_median_over_time(self, rng):
+        link = WanLink(base_delay_s=0.010, jitter_p99_ratio=1.0,
+                       drift_amplitude=0.2, drift_period_s=100.0,
+                       spike_prob=0.0)
+        at_peak = link.delay(rng, 25.0)    # sin = 1
+        at_trough = link.delay(rng, 75.0)  # sin = -1
+        assert at_peak > 0.0115 and at_trough < 0.0085
+
+    def test_spikes_multiply_delay(self, rng):
+        link = WanLink(base_delay_s=0.010, jitter_p99_ratio=1.0,
+                       drift_amplitude=0.0, spike_prob=1.0,
+                       spike_multiplier=5.0)
+        assert link.delay(rng, 0.0) == pytest.approx(0.050)
+
+
+class TestNetworkModel:
+    def test_full_mesh_default_links(self, rng):
+        model = NetworkModel(["a", "b", "c"])
+        assert model.link("a", "b").base_delay_s == 0.010
+        assert model.link("a", "a") is LOCAL_LINK
+
+    def test_duplicate_clusters_rejected(self):
+        with pytest.raises(ConfigError):
+            NetworkModel(["a", "a"])
+
+    def test_unknown_cluster_rejected(self):
+        model = NetworkModel(["a", "b"])
+        with pytest.raises(ConfigError):
+            model.link("a", "ghost")
+
+    def test_set_link_symmetric(self):
+        model = NetworkModel(["a", "b"])
+        custom = WanLink(base_delay_s=0.5)
+        model.set_link("a", "b", custom)
+        assert model.link("a", "b") is custom
+        assert model.link("b", "a") is custom
+
+    def test_set_link_asymmetric(self):
+        model = NetworkModel(["a", "b"])
+        custom = WanLink(base_delay_s=0.5)
+        model.set_link("a", "b", custom, symmetric=False)
+        assert model.link("a", "b") is custom
+        assert model.link("b", "a") is not custom
+
+    def test_local_delay_much_smaller_than_wan(self, rng):
+        model = NetworkModel(["a", "b"])
+        local = statistics.mean(
+            model.delay("a", "a", rng, 0.0) for _ in range(1000))
+        wan = statistics.mean(
+            model.delay("a", "b", rng, 0.0) for _ in range(1000))
+        assert local * 5 < wan

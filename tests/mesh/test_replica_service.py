@@ -1,0 +1,156 @@
+"""Tests for replicas, backends, and service deployments."""
+
+import pytest
+
+from repro.errors import ConfigError, MeshError
+from repro.mesh.cluster import backend_name, split_backend_name
+from repro.mesh.replica import Replica
+from repro.mesh.service import Backend, ServiceDeployment
+from repro.workloads.profiles import constant_backend_profile
+
+
+@pytest.fixture
+def profile():
+    return constant_backend_profile(0.010, 0.030)
+
+
+def make_backend(sim, rng_registry, profile, replicas=3, capacity=4,
+                 cluster="cluster-1"):
+    return Backend(sim, "svc", cluster, profile, rng_registry,
+                   replicas=replicas, replica_capacity=capacity)
+
+
+class TestNames:
+    def test_backend_name_roundtrip(self):
+        name = backend_name("svc", "cluster-2")
+        assert name == "svc/cluster-2"
+        assert split_backend_name(name) == ("svc", "cluster-2")
+
+    def test_split_invalid_name(self):
+        with pytest.raises(ValueError):
+            split_backend_name("no-slash")
+
+
+class TestReplica:
+    def test_capacity_validation(self, sim, rng, profile):
+        with pytest.raises(ConfigError):
+            Replica(sim, "r", profile, rng, capacity=0)
+
+    def test_successful_request(self, sim, rng, profile):
+        replica = Replica(sim, "r", profile, rng)
+        process = sim.spawn(replica.handle())
+        sim.run()
+        assert process.value is True
+        assert replica.completed == 1
+        assert sim.now > 0  # service time elapsed
+
+    def test_failure_injection(self, sim, rng):
+        failing = constant_backend_profile(0.01, 0.03, failure_prob=1.0)
+        replica = Replica(sim, "r", failing, rng)
+        process = sim.spawn(replica.handle())
+        sim.run()
+        assert process.value is False
+        assert replica.failed == 1
+        assert sim.now == pytest.approx(failing.failure_latency_s)
+
+    def test_queueing_beyond_capacity(self, sim, rng_registry):
+        # Deterministic service time of 1 s, capacity 1 -> serialized.
+        profile = constant_backend_profile(1.0, 1.0)
+        replica = Replica(sim, "r", profile, rng_registry.stream("r"),
+                          capacity=1)
+        procs = [sim.spawn(replica.handle()) for _ in range(3)]
+        sim.run()
+        assert all(p.value for p in procs)
+        assert sim.now == pytest.approx(3.0)
+
+    def test_inflight_counts_queued_and_executing(self, sim, rng, profile):
+        replica = Replica(sim, "r", constant_backend_profile(1.0, 1.0),
+                          rng, capacity=1)
+        for _ in range(3):
+            sim.spawn(replica.handle())
+        sim.run(until=0.5)
+        assert replica.inflight == 3
+
+    def test_body_runs_and_success_combines(self, sim, rng, profile):
+        replica = Replica(sim, "r", profile, rng)
+        log = []
+
+        def body():
+            log.append(sim.now)
+            yield sim.timeout(0.5)
+            return False  # downstream failure
+
+        process = sim.spawn(replica.handle(body))
+        sim.run()
+        assert process.value is False
+        assert log  # body executed after the replica's own compute time
+        assert replica.failed == 1
+
+
+class TestBackend:
+    def test_replica_validation(self, sim, rng_registry, profile):
+        with pytest.raises(ConfigError):
+            make_backend(sim, rng_registry, profile, replicas=0)
+
+    def test_round_robin_across_replicas(self, sim, rng_registry, profile):
+        backend = make_backend(sim, rng_registry, profile, replicas=3)
+        picks = [backend.pick_replica().name for _ in range(6)]
+        assert picks[:3] == picks[3:]
+        assert len(set(picks[:3])) == 3
+
+    def test_add_remove_replica(self, sim, rng_registry, profile):
+        backend = make_backend(sim, rng_registry, profile, replicas=1)
+        backend.add_replica()
+        assert len(backend.replicas) == 2
+        backend.remove_replica()
+        assert len(backend.replicas) == 1
+        with pytest.raises(MeshError):
+            backend.remove_replica()
+
+    def test_replica_names_unique_across_scaling(self, sim, rng_registry,
+                                                 profile):
+        backend = make_backend(sim, rng_registry, profile, replicas=2)
+        backend.remove_replica()
+        replica = backend.add_replica()
+        names = {r.name for r in backend.replicas}
+        assert len(names) == len(backend.replicas)
+        assert replica.name.endswith("/2")
+
+    def test_backend_inflight_aggregates(self, sim, rng_registry):
+        profile = constant_backend_profile(1.0, 1.0)
+        backend = make_backend(sim, rng_registry, profile, replicas=2,
+                               capacity=1)
+        for _ in range(4):
+            sim.spawn(backend.handle())
+        sim.run(until=0.5)
+        assert backend.inflight == 4
+
+
+class TestServiceDeployment:
+    def test_add_backend_validation(self, sim, rng_registry, profile):
+        deployment = ServiceDeployment("svc")
+        deployment.add_backend(make_backend(sim, rng_registry, profile))
+        with pytest.raises(MeshError):
+            deployment.add_backend(make_backend(sim, rng_registry, profile))
+
+    def test_wrong_service_rejected(self, sim, rng_registry, profile):
+        deployment = ServiceDeployment("other")
+        with pytest.raises(MeshError):
+            deployment.add_backend(make_backend(sim, rng_registry, profile))
+
+    def test_backend_lookup(self, sim, rng_registry, profile):
+        deployment = ServiceDeployment("svc")
+        backend = make_backend(sim, rng_registry, profile)
+        deployment.add_backend(backend)
+        assert deployment.backend_in("cluster-1") is backend
+        with pytest.raises(MeshError):
+            deployment.backend_in("cluster-9")
+
+    def test_backend_names_sorted_by_cluster(self, sim, rng_registry,
+                                             profile):
+        deployment = ServiceDeployment("svc")
+        for cluster in ("cluster-2", "cluster-1"):
+            deployment.add_backend(
+                make_backend(sim, rng_registry, profile, cluster=cluster))
+        assert deployment.backend_names() == [
+            "svc/cluster-1", "svc/cluster-2"]

@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) for the core algorithm invariants."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ewma import Ewma, PeakEwma, half_life_to_beta
+from repro.core.rate_control import (
+    adjust_weight,
+    apply_rate_control,
+    relative_change,
+)
+from repro.core.weighting import (
+    BackendSnapshot,
+    WeightingConfig,
+    backend_weight,
+    compute_weights,
+    estimate_latency,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+latencies = st.floats(min_value=1e-6, max_value=1e4)
+rates = st.floats(min_value=0.0, max_value=1.0)
+rps_values = st.floats(min_value=0.0, max_value=1e6)
+weights = st.floats(min_value=1.0, max_value=1e9)
+changes = st.floats(min_value=-1e3, max_value=1e3)
+times = st.floats(min_value=0.0, max_value=1e6)
+samples = st.floats(min_value=0.0, max_value=1e6)
+
+
+class TestEwmaProperties:
+    @given(st.lists(st.tuples(samples, st.floats(min_value=1e-3,
+                                                 max_value=100.0)),
+                    min_size=1, max_size=50),
+           st.floats(min_value=0.1, max_value=1e4))
+    def test_value_bounded_by_observed_extremes(self, observations, default):
+        """The EWMA stays within [min, max] of {default} U samples."""
+        ewma = Ewma(default=default, beta=half_life_to_beta(5.0))
+        seen = [default]
+        now = 0.0
+        for sample, gap in observations:
+            now += gap
+            ewma.observe(sample, now)
+            seen.append(sample)
+            assert min(seen) - 1e-9 <= ewma.value <= max(seen) + 1e-9
+
+    @given(st.lists(st.tuples(samples, st.floats(min_value=1e-3,
+                                                 max_value=100.0)),
+                    min_size=1, max_size=50))
+    def test_peak_ewma_dominates_plain_ewma(self, observations):
+        """PeakEWMA is never below the plain EWMA on the same stream."""
+        beta = half_life_to_beta(5.0)
+        plain = Ewma(default=0.0, beta=beta)
+        peak = PeakEwma(default=0.0, beta=beta)
+        now = 0.0
+        for sample, gap in observations:
+            now += gap
+            plain.observe(sample, now)
+            peak.observe(sample, now)
+            assert peak.value >= plain.value - 1e-9
+
+    @given(samples, st.floats(min_value=1e-3, max_value=1e3),
+           st.floats(min_value=0.1, max_value=1e3))
+    def test_blend_is_convex_combination(self, sample, gap, default):
+        ewma = Ewma(default=default, beta=half_life_to_beta(5.0))
+        ewma.observe(sample, gap)
+        low, high = min(sample, default), max(sample, default)
+        assert low - 1e-9 <= ewma.value <= high + 1e-9
+
+
+class TestWeightingProperties:
+    @given(latencies, latencies, rates, rps_values,
+           st.floats(min_value=0.0, max_value=1e4))
+    def test_weight_anti_monotone_in_latency(self, lat_a, lat_b, success,
+                                             rps, inflight):
+        """Strictly higher latency never yields a higher weight."""
+        assume(abs(lat_a - lat_b) > 1e-9)
+        config = WeightingConfig(min_weight=0.0)
+        slow, fast = max(lat_a, lat_b), min(lat_a, lat_b)
+        w_fast = backend_weight(
+            BackendSnapshot("f", fast, success, rps, inflight), config)
+        w_slow = backend_weight(
+            BackendSnapshot("s", slow, success, rps, inflight), config)
+        assert w_fast >= w_slow
+
+    @given(latencies,
+           st.floats(min_value=1e-6, max_value=1.0),
+           st.floats(min_value=1e-6, max_value=1.0),
+           rps_values)
+    def test_weight_monotone_in_positive_success_rate(self, latency, rate_a,
+                                                      rate_b, rps):
+        """For R_s > 0, a higher success rate never lowers the weight.
+
+        R_s = 0 is deliberately excluded: Algorithm 1 (lines 10-11) falls
+        back to the raw latency there to avoid dividing by zero, which
+        creates a documented discontinuity — see
+        ``test_zero_success_rate_discontinuity``.
+        """
+        config = WeightingConfig(min_weight=0.0)
+        low, high = min(rate_a, rate_b), max(rate_a, rate_b)
+        w_high = backend_weight(
+            BackendSnapshot("h", latency, high, rps, 0.0), config)
+        w_low = backend_weight(
+            BackendSnapshot("l", latency, low, rps, 0.0), config)
+        assert w_high >= w_low - 1e-12
+
+    def test_zero_success_rate_discontinuity(self):
+        """Algorithm 1's division-by-zero fallback is non-monotone.
+
+        A backend with success rate exactly 0 is weighted by its raw
+        latency (no retry penalty), so it can outrank a backend with a
+        small positive success rate. The paper relies on the weight floor
+        plus orchestrator health checks to handle truly dead backends.
+        """
+        config = WeightingConfig(min_weight=0.0)
+        dead = backend_weight(
+            BackendSnapshot("dead", 1.0, 0.0, 100.0, 0.0), config)
+        barely_alive = backend_weight(
+            BackendSnapshot("barely", 1.0, 0.5, 100.0, 0.0), config)
+        assert dead > barely_alive
+
+    @given(st.lists(st.tuples(latencies, rates,
+                              st.floats(min_value=0.1, max_value=1e4),
+                              st.floats(min_value=0.0, max_value=1e4)),
+                    min_size=1, max_size=10))
+    def test_weights_positive_finite_and_floored(self, rows):
+        snapshots = [
+            BackendSnapshot(f"b{i}", lat, sr, rps, infl)
+            for i, (lat, sr, rps, infl) in enumerate(rows)
+        ]
+        config = WeightingConfig()
+        out = compute_weights(snapshots, config)
+        for weight in out.values():
+            assert math.isfinite(weight)
+            assert weight >= config.min_weight
+
+    @given(latencies, rates, st.floats(min_value=0.0, max_value=100.0))
+    def test_estimate_latency_at_least_raw(self, latency, success, penalty):
+        assert estimate_latency(latency, success, penalty) >= latency - 1e-12
+
+
+class TestRateControlProperties:
+    @given(st.dictionaries(st.text(min_size=1, max_size=8), weights,
+                           min_size=1, max_size=10),
+           rps_values, rps_values)
+    def test_outputs_finite_and_floored(self, weight_map, ewma, last):
+        out = apply_rate_control(weight_map, ewma, last, min_weight=1.0)
+        assert set(out) == set(weight_map)
+        for value in out.values():
+            assert math.isfinite(value)
+            assert value >= 1.0
+
+    @given(weights, weights, st.floats(min_value=1e-6, max_value=1e3))
+    def test_increase_contracts_toward_mean(self, weight, mean, change):
+        """For c > 0 the output lies between the input and the mean."""
+        adjusted = adjust_weight(weight, mean, change)
+        low, high = min(weight, mean), max(weight, mean)
+        assert low - 1e-6 <= adjusted <= high + 1e-6
+
+    @given(weights, weights, st.floats(min_value=-1e3, max_value=-1e-6))
+    def test_decrease_expands_away_from_mean(self, weight, mean, change):
+        adjusted = adjust_weight(weight, mean, change)
+        if weight <= mean:
+            assert adjusted <= weight + 1e-9
+            assert adjusted >= 0.0
+        else:
+            assert weight - 1e-9 <= adjusted <= 2 * weight - mean + 1e-6
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=8), weights,
+                           min_size=2, max_size=10),
+           st.floats(min_value=1.0, max_value=1e5),
+           st.floats(min_value=1.0, max_value=1e5))
+    def test_surge_preserves_mean(self, weight_map, ewma, extra):
+        last = ewma + extra  # guaranteed increase
+        out = apply_rate_control(weight_map, ewma, last, min_weight=0.0)
+        mean_in = sum(weight_map.values()) / len(weight_map)
+        mean_out = sum(out.values()) / len(out)
+        assert math.isclose(mean_in, mean_out, rel_tol=1e-9)
+
+    @given(rps_values, rps_values)
+    def test_relative_change_sign(self, ewma, last):
+        change = relative_change(ewma, last)
+        if last > ewma:
+            assert change > 0
+        elif last < ewma and ewma > 0:
+            assert change < 0
+        elif last == ewma:
+            assert change == 0.0

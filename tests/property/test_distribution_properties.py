@@ -1,0 +1,79 @@
+"""Statistical properties of the weighted-pick machinery.
+
+TrafficSplit proportionality is the contract the whole system rests on
+("a backend with twice the weight receives twice as much traffic"), so it
+gets a direct statistical check across random weight vectors.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.traffic_split import TrafficSplit
+from repro.sim.engine import Simulator
+from repro.workloads.profiles import PiecewiseSeries
+
+
+class TestTrafficSplitProportionality:
+    @given(st.lists(st.integers(min_value=1, max_value=50),
+                    min_size=2, max_size=6),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_pick_frequencies_match_weight_ratios(self, weights, seed):
+        sim = Simulator()
+        names = [f"b{i}" for i in range(len(weights))]
+        split = TrafficSplit(sim, "svc", names, propagation_delay_s=0.0)
+        split.set_weights(dict(zip(names, weights)), now=0.0)
+        rng = random.Random(seed)
+        draws = 4000
+        counts = {name: 0 for name in names}
+        for _ in range(draws):
+            counts[split.pick(rng)] += 1
+        total_weight = sum(weights)
+        for name, weight in zip(names, weights):
+            expected = weight / total_weight
+            observed = counts[name] / draws
+            # Binomial std-dev at n=4000 is < 0.008; allow 5 sigma.
+            assert abs(observed - expected) < 0.04, (name, weights)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10),
+                    min_size=2, max_size=5).filter(lambda w: sum(w) > 0),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_zero_weight_backends_never_picked(self, weights, seed):
+        sim = Simulator()
+        names = [f"b{i}" for i in range(len(weights))]
+        split = TrafficSplit(sim, "svc", names, propagation_delay_s=0.0)
+        split.set_weights(dict(zip(names, weights)), now=0.0)
+        rng = random.Random(seed)
+        zero_names = {n for n, w in zip(names, weights) if w == 0}
+        for _ in range(500):
+            assert split.pick(rng) not in zero_names
+
+
+class TestPiecewisePeriodicity:
+    @given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=99.0),
+                              st.floats(min_value=-1e3, max_value=1e3)),
+                    min_size=2, max_size=20,
+                    unique_by=lambda p: round(p[0], 6)),
+           st.floats(min_value=0.0, max_value=1e4))
+    def test_periodic_series_repeats(self, points, when):
+        import math
+
+        series = PiecewiseSeries(points, period_s=100.0)
+        base = series.value_at(when)
+        # Float modulo introduces last-ulp differences at large offsets.
+        assert math.isclose(base, series.value_at(when + 100.0),
+                            rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(base, series.value_at(when + 300.0),
+                            rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=99.0),
+                              st.floats(min_value=-1e3, max_value=1e3)),
+                    min_size=1, max_size=20,
+                    unique_by=lambda p: round(p[0], 6)))
+    def test_control_points_are_reproduced(self, points):
+        series = PiecewiseSeries(points)
+        for t, v in points:
+            assert series.value_at(t) == v

@@ -1,0 +1,134 @@
+"""Tests for event primitives: Event, Timeout, AllOf, AnyOf."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+class TestEvent:
+    def test_starts_pending(self, sim):
+        event = sim.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_carries_value(self, sim):
+        event = sim.event()
+        event.succeed("payload")
+        sim.run()
+        assert event.processed
+        assert event.value == "payload"
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.event().value
+
+    def test_double_succeed_raises(self, sim):
+        event = sim.event().succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_succeed_after_fail_raises(self, sim):
+        event = sim.event()
+        event.fail(RuntimeError("x"))
+        event.defused = True
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_failed_event_value_raises_original(self, sim):
+        event = sim.event()
+        event.fail(KeyError("missing"))
+        event.defused = True
+        sim.run()
+        with pytest.raises(KeyError):
+            event.value
+
+    def test_delayed_succeed(self, sim):
+        event = sim.event()
+        seen = []
+        event.add_callback(lambda e: seen.append(sim.now))
+        event.succeed(delay=4.0)
+        sim.run()
+        assert seen == [4.0]
+
+    def test_callback_after_processed_runs_immediately(self, sim):
+        event = sim.event().succeed("v")
+        sim.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["v"]
+
+    def test_ok_reflects_outcome(self, sim):
+        good = sim.event().succeed()
+        bad = sim.event()
+        bad.fail(RuntimeError("x"))
+        bad.defused = True
+        sim.run()
+        assert good.ok and not bad.ok
+
+
+class TestTimeout:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        timeout = sim.timeout(2.0, value="done")
+        timeout.add_callback(lambda e: fired.append((sim.now, e.value)))
+        sim.run()
+        assert fired == [(2.0, "done")]
+
+    def test_zero_delay_fires_at_now(self, sim):
+        sim.run(until=5.0)
+        timeout = sim.timeout(0.0)
+        sim.run()
+        assert timeout.processed
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-0.1)
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self, sim):
+        t1 = sim.timeout(1.0, "a")
+        t2 = sim.timeout(3.0, "b")
+        done = []
+        sim.all_of([t1, t2]).add_callback(
+            lambda e: done.append((sim.now, sorted(e.value.values()))))
+        sim.run()
+        assert done == [(3.0, ["a", "b"])]
+
+    def test_any_of_fires_on_first(self, sim):
+        t1 = sim.timeout(1.0, "fast")
+        t2 = sim.timeout(3.0, "slow")
+        done = []
+        sim.any_of([t1, t2]).add_callback(
+            lambda e: done.append((sim.now, list(e.value.values()))))
+        sim.run()
+        assert done == [(1.0, ["fast"])]
+
+    def test_empty_all_of_fires_immediately(self, sim):
+        condition = sim.all_of([])
+        assert condition.triggered
+
+    def test_all_of_propagates_failure(self, sim):
+        bad = sim.event()
+        bad.fail(RuntimeError("child failed"))
+        condition = sim.all_of([bad, sim.timeout(1.0)])
+        condition.defused = True
+        sim.run()
+        assert not condition.ok
+
+    def test_process_waiting_on_all_of(self, sim):
+        def fan_out(sim):
+            timeouts = [sim.timeout(i, i) for i in (1.0, 2.0, 3.0)]
+            values = yield sim.all_of(timeouts)
+            return sorted(values.values())
+
+        process = sim.spawn(fan_out(sim))
+        sim.run()
+        assert process.value == [1.0, 2.0, 3.0]
+        assert sim.now == 3.0

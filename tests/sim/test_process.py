@@ -1,0 +1,194 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import Interrupted, SimulationError
+from repro.sim.engine import Simulator
+
+
+def ticker(sim, log, period, count):
+    for _ in range(count):
+        yield sim.timeout(period)
+        log.append(sim.now)
+    return len(log)
+
+
+class TestLifecycle:
+    def test_runs_and_returns_value(self, sim):
+        log = []
+        process = sim.spawn(ticker(sim, log, 1.0, 3))
+        sim.run()
+        assert log == [1.0, 2.0, 3.0]
+        assert process.value == 3
+
+    def test_is_alive_until_done(self, sim):
+        process = sim.spawn(ticker(sim, [], 1.0, 2))
+        assert process.is_alive
+        sim.run()
+        assert not process.is_alive
+
+    def test_spawn_requires_generator(self, sim):
+        with pytest.raises(SimulationError):
+            sim.spawn(lambda: None)
+
+    def test_immediate_return(self, sim):
+        def instant(sim):
+            return 99
+            yield  # pragma: no cover - makes this a generator
+
+        process = sim.spawn(instant(sim))
+        sim.run()
+        assert process.value == 99
+
+    def test_name_defaults_and_overrides(self, sim):
+        named = sim.spawn(ticker(sim, [], 1.0, 1), name="my-proc")
+        assert named.name == "my-proc"
+
+
+class TestWaiting:
+    def test_process_waits_on_process(self, sim):
+        def child(sim):
+            yield sim.timeout(5.0)
+            return "child-result"
+
+        def parent(sim):
+            result = yield sim.spawn(child(sim))
+            return f"got:{result}"
+
+        process = sim.spawn(parent(sim))
+        sim.run()
+        assert process.value == "got:child-result"
+
+    def test_waiting_on_already_finished_process(self, sim):
+        def child(sim):
+            yield sim.timeout(1.0)
+            return 7
+
+        finished = sim.spawn(child(sim))
+        sim.run()
+
+        def late_waiter(sim):
+            value = yield finished
+            return value * 2
+
+        waiter = sim.spawn(late_waiter(sim))
+        sim.run()
+        assert waiter.value == 14
+
+    def test_yielding_non_event_fails_the_process(self, sim):
+        def confused(sim):
+            yield 42
+
+        process = sim.spawn(confused(sim))
+        process.defused = True
+        sim.run()
+        assert not process.ok
+
+    def test_chain_of_processes(self, sim):
+        def leaf(sim, n):
+            yield sim.timeout(1.0)
+            return n
+
+        def middle(sim):
+            total = 0
+            for i in range(3):
+                total += yield sim.spawn(leaf(sim, i))
+            return total
+
+        process = sim.spawn(middle(sim))
+        sim.run()
+        assert process.value == 3
+        assert sim.now == 3.0
+
+    def test_yield_from_composition(self, sim):
+        def inner(sim):
+            yield sim.timeout(2.0)
+            return "inner"
+
+        def outer(sim):
+            value = yield from inner(sim)
+            return value.upper()
+
+        process = sim.spawn(outer(sim))
+        sim.run()
+        assert process.value == "INNER"
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeper(self, sim):
+        log = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupted as interruption:
+                log.append((sim.now, interruption.cause))
+
+        process = sim.spawn(sleeper(sim))
+        sim.call_after(3.0, process.interrupt, "wake up")
+        sim.run()
+        assert log == [(3.0, "wake up")]
+
+    def test_interrupt_finished_process_is_noop(self, sim):
+        process = sim.spawn(ticker(sim, [], 1.0, 1))
+        sim.run()
+        process.interrupt("too late")
+        sim.run()
+        assert process.ok
+
+    def test_uncaught_interrupt_fails_process(self, sim):
+        def stubborn(sim):
+            yield sim.timeout(100.0)
+
+        process = sim.spawn(stubborn(sim))
+        process.defused = True
+        sim.call_after(1.0, process.interrupt)
+        sim.run()
+        assert not process.ok
+
+    def test_interrupted_process_can_continue(self, sim):
+        log = []
+
+        def resilient(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupted:
+                pass
+            yield sim.timeout(2.0)
+            log.append(sim.now)
+
+        process = sim.spawn(resilient(sim))
+        sim.call_after(1.0, process.interrupt)
+        sim.run()
+        assert log == [3.0]
+
+
+class TestExceptions:
+    def test_exception_inside_process_propagates_to_waiter(self, sim):
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise LookupError("nope")
+
+        def waiter(sim):
+            try:
+                yield sim.spawn(bad(sim))
+            except LookupError:
+                return "handled"
+
+        process = sim.spawn(waiter(sim))
+        sim.run()
+        assert process.value == "handled"
+
+    def test_failed_event_throws_into_process(self, sim):
+        event = Simulator.event(sim)
+
+        def waiter(sim):
+            try:
+                yield event
+            except RuntimeError as error:
+                return str(error)
+
+        process = sim.spawn(waiter(sim))
+        event.fail(RuntimeError("event failed"), delay=1.0)
+        sim.run()
+        assert process.value == "event failed"

@@ -1,0 +1,117 @@
+"""Tests for Server and Store resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.resources import Server, Store
+
+
+def occupy(sim, server, hold, log, tag):
+    yield server.acquire()
+    try:
+        yield sim.timeout(hold)
+        log.append((sim.now, tag))
+    finally:
+        server.release()
+
+
+class TestServer:
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(SimulationError):
+            Server(sim, 0)
+
+    def test_serves_up_to_capacity_concurrently(self, sim):
+        server = Server(sim, 2)
+        log = []
+        for i in range(2):
+            sim.spawn(occupy(sim, server, 1.0, log, i))
+        sim.run()
+        assert [t for t, _ in log] == [1.0, 1.0]
+
+    def test_excess_requests_queue_fifo(self, sim):
+        server = Server(sim, 1)
+        log = []
+        for i in range(3):
+            sim.spawn(occupy(sim, server, 1.0, log, i))
+        sim.run()
+        assert log == [(1.0, 0), (2.0, 1), (3.0, 2)]
+
+    def test_in_use_and_queue_len_track_state(self, sim):
+        server = Server(sim, 1)
+        for i in range(3):
+            sim.spawn(occupy(sim, server, 1.0, [], i))
+        sim.run(until=0.5)
+        assert server.in_use == 1
+        assert server.queue_len == 2
+        sim.run()
+        assert server.in_use == 0
+        assert server.queue_len == 0
+
+    def test_release_without_acquire_raises(self, sim):
+        server = Server(sim, 1)
+        with pytest.raises(SimulationError):
+            server.release()
+
+    def test_release_hands_slot_to_waiter_without_gap(self, sim):
+        server = Server(sim, 1)
+        log = []
+        sim.spawn(occupy(sim, server, 2.0, log, "first"))
+        sim.spawn(occupy(sim, server, 1.0, log, "second"))
+        sim.run()
+        assert log == [(2.0, "first"), (3.0, "second")]
+
+    def test_cancel_removes_queued_acquisition(self, sim):
+        server = Server(sim, 1)
+        sim.spawn(occupy(sim, server, 5.0, [], "holder"))
+        sim.run(until=0.1)
+        queued = server.acquire()
+        assert server.queue_len == 1
+        assert server.cancel(queued)
+        assert server.queue_len == 0
+
+    def test_cancel_unknown_event_returns_false(self, sim):
+        server = Server(sim, 1)
+        assert not server.cancel(sim.event())
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("item")
+        got = []
+        store.get().add_callback(lambda e: got.append(e.value))
+        sim.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer(sim):
+            value = yield store.get()
+            got.append((sim.now, value))
+
+        sim.spawn(consumer(sim))
+        sim.call_after(2.0, store.put, "late")
+        sim.run()
+        assert got == [(2.0, "late")]
+
+    def test_fifo_ordering(self, sim):
+        store = Store(sim)
+        for item in ("a", "b", "c"):
+            store.put(item)
+        got = []
+
+        def consumer(sim):
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert got == ["a", "b", "c"]
+
+    def test_len_tracks_backlog(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2

@@ -1,0 +1,79 @@
+"""Tests for deterministic RNG streams and log-normal helpers."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.sim.rng import (
+    RngRegistry,
+    Z_P99,
+    lognormal_params_from_percentiles,
+    sample_lognormal,
+)
+
+
+class TestRegistry:
+    def test_same_name_same_stream_object(self):
+        registry = RngRegistry(7)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_same_seed_reproduces_draws(self):
+        first = RngRegistry(7).stream("x").random()
+        second = RngRegistry(7).stream("x").random()
+        assert first == second
+
+    def test_different_names_are_independent(self):
+        registry = RngRegistry(7)
+        assert registry.stream("a").random() != registry.stream("b").random()
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("x").random()
+        b = RngRegistry(2).stream("x").random()
+        assert a != b
+
+    def test_new_streams_do_not_perturb_existing(self):
+        registry = RngRegistry(7)
+        stream = registry.stream("stable")
+        first = stream.random()
+        registry.stream("newcomer")
+        registry2 = RngRegistry(7)
+        stream2 = registry2.stream("stable")
+        assert stream2.random() == first
+
+
+class TestLognormal:
+    def test_params_roundtrip_median(self):
+        mu, _sigma = lognormal_params_from_percentiles(0.1, 0.5)
+        assert math.isclose(math.exp(mu), 0.1)
+
+    def test_params_pin_tail(self):
+        mu, sigma = lognormal_params_from_percentiles(0.1, 0.5)
+        assert math.isclose(math.exp(mu + sigma * Z_P99), 0.5, rel_tol=1e-9)
+
+    def test_degenerate_distribution(self):
+        mu, sigma = lognormal_params_from_percentiles(0.2, 0.2)
+        assert sigma == 0.0
+
+    def test_invalid_median_rejected(self):
+        with pytest.raises(ValueError):
+            lognormal_params_from_percentiles(0.0, 1.0)
+
+    def test_tail_below_median_rejected(self):
+        with pytest.raises(ValueError):
+            lognormal_params_from_percentiles(0.5, 0.1)
+
+    def test_samples_match_pinned_percentiles(self, rng):
+        samples = sorted(
+            sample_lognormal(rng, 0.1, 0.4) for _ in range(20_000))
+        median = samples[len(samples) // 2]
+        p99 = samples[int(len(samples) * 0.99)]
+        assert math.isclose(median, 0.1, rel_tol=0.05)
+        assert math.isclose(p99, 0.4, rel_tol=0.10)
+
+    def test_degenerate_sampling_returns_median(self, rng):
+        assert sample_lognormal(rng, 0.3, 0.3) == 0.3
+
+    def test_samples_are_positive(self, rng):
+        assert all(
+            sample_lognormal(rng, 0.05, 1.0) > 0 for _ in range(1000))

@@ -1,0 +1,70 @@
+"""Tests for counters, gauges and per-backend telemetry bundles."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import BackendTelemetry, Counter, Gauge
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter().value == 0.0
+
+    def test_inc_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_cannot_decrease(self):
+        with pytest.raises(TelemetryError):
+            Counter().inc(-1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge(10.0)
+        gauge.inc(5.0)
+        gauge.dec(2.0)
+        assert gauge.value == 13.0
+        gauge.set(0.0)
+        assert gauge.value == 0.0
+
+
+class TestBackendTelemetry:
+    def test_scrape_name_defaults_to_backend_name(self):
+        telemetry = BackendTelemetry("svc/cluster-1")
+        assert telemetry.scrape_name == "svc/cluster-1"
+
+    def test_scrape_name_override(self):
+        telemetry = BackendTelemetry("svc/c1", scrape_name="cluster-2|svc/c1")
+        assert telemetry.scrape_name == "cluster-2|svc/c1"
+        assert telemetry.backend_name == "svc/c1"
+
+    def test_request_lifecycle_success(self):
+        telemetry = BackendTelemetry("b")
+        telemetry.on_request_sent()
+        assert telemetry.inflight.value == 1
+        telemetry.on_response(0.050, success=True)
+        assert telemetry.inflight.value == 0
+        assert telemetry.requests_total.value == 1
+        assert telemetry.failures_total.value == 0
+        assert telemetry.success_latency.count == 1
+        assert telemetry.failure_latency.count == 0
+
+    def test_request_lifecycle_failure(self):
+        telemetry = BackendTelemetry("b")
+        telemetry.on_request_sent()
+        telemetry.on_response(0.020, success=False)
+        assert telemetry.failures_total.value == 1
+        assert telemetry.success_latency.count == 0
+        assert telemetry.failure_latency.count == 1
+
+    def test_failure_latency_never_pollutes_success_histogram(self):
+        telemetry = BackendTelemetry("b")
+        for _ in range(10):
+            telemetry.on_request_sent()
+            telemetry.on_response(5.0, success=False)
+        telemetry.on_request_sent()
+        telemetry.on_response(0.001, success=True)
+        assert telemetry.success_latency.quantile(0.99) < 0.01

@@ -1,0 +1,136 @@
+"""Tests for the windowed metrics queries (the controller's data source)."""
+
+import math
+
+import pytest
+
+from repro.telemetry.metrics import BackendTelemetry
+from repro.telemetry.query import PromMetricsSource
+from repro.telemetry.scraper import Scraper
+from repro.telemetry.timeseries import TimeSeriesStore
+
+
+def scraped_traffic(latencies_and_outcomes, scrape_times, name="b",
+                    scrape_name=None, inflight_at_end=0):
+    """Build a store by replaying completed requests then scraping."""
+    store = TimeSeriesStore()
+    scraper = Scraper(store)
+    telemetry = BackendTelemetry(name, scrape_name=scrape_name)
+    scraper.register(telemetry)
+    # First scrape with no traffic, then traffic, then the closing scrape.
+    scraper.scrape_once(scrape_times[0])
+    for latency, success in latencies_and_outcomes:
+        telemetry.on_request_sent()
+        telemetry.on_response(latency, success)
+    for _ in range(inflight_at_end):
+        telemetry.on_request_sent()
+    for when in scrape_times[1:]:
+        scraper.scrape_once(when)
+    return store
+
+
+class TestCollect:
+    def test_rps_is_delta_over_elapsed(self):
+        store = scraped_traffic(
+            [(0.01, True)] * 50, scrape_times=(0.0, 5.0, 10.0))
+        source = PromMetricsSource(store)
+        sample = source.collect(["b"], 10.0, 10.0, 0.99)["b"]
+        assert math.isclose(sample.rps, 5.0)  # 50 requests over 10 s
+
+    def test_success_rate_from_failure_delta(self):
+        store = scraped_traffic(
+            [(0.01, True)] * 90 + [(0.01, False)] * 10,
+            scrape_times=(0.0, 10.0))
+        source = PromMetricsSource(store)
+        sample = source.collect(["b"], 10.0, 10.0, 0.99)["b"]
+        assert math.isclose(sample.success_rate, 0.9)
+
+    def test_no_traffic_yields_none(self):
+        store = scraped_traffic([], scrape_times=(0.0, 5.0, 10.0))
+        source = PromMetricsSource(store)
+        assert source.collect(["b"], 10.0, 10.0, 0.99)["b"] is None
+
+    def test_single_scrape_in_window_yields_none(self):
+        store = scraped_traffic([(0.01, True)], scrape_times=(0.0, 10.0))
+        source = PromMetricsSource(store)
+        # Window covers only the last scrape: rate() needs two samples.
+        assert source.collect(["b"], 10.0, 5.0, 0.99)["b"] is None
+
+    def test_all_failures_gives_none_latency(self):
+        store = scraped_traffic(
+            [(0.01, False)] * 10, scrape_times=(0.0, 10.0))
+        source = PromMetricsSource(store)
+        sample = source.collect(["b"], 10.0, 10.0, 0.99)["b"]
+        assert sample is not None
+        assert sample.latency_s is None
+        assert sample.success_rate == 0.0
+
+    def test_percentile_reflects_distribution(self):
+        store = scraped_traffic(
+            [(0.010, True)] * 99 + [(1.0, True)], scrape_times=(0.0, 10.0))
+        source = PromMetricsSource(store)
+        p50 = source.collect(["b"], 10.0, 10.0, 0.50)["b"].latency_s
+        p999 = source.collect(["b"], 10.0, 10.0, 0.999)["b"].latency_s
+        assert p50 < 0.05
+        assert p999 > 0.5
+
+    def test_mean_latency(self):
+        store = scraped_traffic(
+            [(0.010, True)] * 50 + [(0.030, True)] * 50,
+            scrape_times=(0.0, 10.0))
+        source = PromMetricsSource(store)
+        sample = source.collect(["b"], 10.0, 10.0, 0.99)["b"]
+        assert math.isclose(sample.mean_latency_s, 0.020, rel_tol=1e-9)
+
+    def test_inflight_from_latest_gauge(self):
+        store = scraped_traffic(
+            [(0.01, True)] * 10, scrape_times=(0.0, 10.0),
+            inflight_at_end=4)
+        source = PromMetricsSource(store)
+        sample = source.collect(["b"], 10.0, 10.0, 0.99)["b"]
+        assert sample.inflight == 4.0
+
+    def test_unknown_backend_is_none(self):
+        source = PromMetricsSource(TimeSeriesStore())
+        assert source.collect(["ghost"], 10.0, 10.0, 0.99)["ghost"] is None
+
+
+class TestScoping:
+    def test_scoped_source_reads_prefixed_series(self):
+        store = scraped_traffic(
+            [(0.01, True)] * 20, scrape_times=(0.0, 10.0),
+            scrape_name="cluster-1|b")
+        scoped = PromMetricsSource(store, scope="cluster-1")
+        unscoped = PromMetricsSource(store)
+        assert scoped.collect(["b"], 10.0, 10.0, 0.99)["b"] is not None
+        assert unscoped.collect(["b"], 10.0, 10.0, 0.99)["b"] is None
+
+
+class TestServerQueue:
+    def test_reads_latest_server_gauge(self):
+        store = TimeSeriesStore()
+        scraper = Scraper(store)
+        scraper.register_gauge("server|b", "server_queue", lambda: 6.0)
+        scraper.scrape_once(5.0)
+        source = PromMetricsSource(store)
+        assert source.server_queue("b", 10.0, 10.0) == 6.0
+
+    def test_missing_series_returns_zero(self):
+        source = PromMetricsSource(TimeSeriesStore())
+        assert source.server_queue("b", 10.0, 10.0) == 0.0
+
+
+class TestFailureLatency:
+    def test_failure_latency_quantile(self):
+        store = scraped_traffic(
+            [(0.5, False)] * 20 + [(0.01, True)] * 20,
+            scrape_times=(0.0, 10.0))
+        source = PromMetricsSource(store)
+        q = source.failure_latency_quantile("b", 10.0, 10.0, 0.5)
+        assert q is not None and q > 0.3
+
+    def test_no_failures_returns_none(self):
+        store = scraped_traffic(
+            [(0.01, True)] * 20, scrape_times=(0.0, 10.0))
+        source = PromMetricsSource(store)
+        assert source.failure_latency_quantile("b", 10.0, 10.0, 0.5) is None

@@ -1,0 +1,82 @@
+"""Tests for scraped-sample storage and windowed lookups."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.timeseries import SampleSeries, TimeSeriesStore
+
+
+class TestSampleSeries:
+    def test_append_and_len(self):
+        series = SampleSeries()
+        series.append(1.0, 10.0)
+        series.append(2.0, 20.0)
+        assert len(series) == 2
+
+    def test_out_of_order_rejected(self):
+        series = SampleSeries()
+        series.append(5.0, 1.0)
+        with pytest.raises(TelemetryError):
+            series.append(4.0, 1.0)
+
+    def test_equal_timestamps_allowed(self):
+        series = SampleSeries()
+        series.append(5.0, 1.0)
+        series.append(5.0, 2.0)
+        assert len(series) == 2
+
+    def test_window_inclusive_bounds(self):
+        series = SampleSeries()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            series.append(t, t * 10)
+        window = series.window(2.0, 3.0)
+        assert [t for t, _v in window] == [2.0, 3.0]
+
+    def test_first_last_requires_two_samples(self):
+        series = SampleSeries()
+        series.append(1.0, 10.0)
+        assert series.first_last_in_window(0.0, 5.0) is None
+        series.append(2.0, 20.0)
+        (t0, v0), (t1, v1) = series.first_last_in_window(0.0, 5.0)
+        assert (t0, v0) == (1.0, 10.0)
+        assert (t1, v1) == (2.0, 20.0)
+
+    def test_latest_in_window(self):
+        series = SampleSeries()
+        for t in (1.0, 2.0, 3.0):
+            series.append(t, t)
+        assert series.latest_in_window(0.0, 2.5) == (2.0, 2.0)
+        assert series.latest_in_window(5.0, 9.0) is None
+
+    def test_retention_trims_old_samples(self):
+        series = SampleSeries(max_age_s=10.0)
+        series.append(0.0, 1.0)
+        series.append(100.0, 2.0)
+        assert len(series) == 1
+        assert series.latest_in_window(0.0, 100.0) == (100.0, 2.0)
+
+    def test_invalid_retention_rejected(self):
+        with pytest.raises(TelemetryError):
+            SampleSeries(max_age_s=0.0)
+
+    def test_stores_arbitrary_values(self):
+        series = SampleSeries()
+        series.append(1.0, (1, 2, 3))
+        assert series.latest_in_window(0.0, 2.0)[1] == (1, 2, 3)
+
+
+class TestTimeSeriesStore:
+    def test_series_created_on_first_use(self):
+        store = TimeSeriesStore()
+        series = store.series("backend", "metric")
+        assert series is store.series("backend", "metric")
+
+    def test_backends_enumeration(self):
+        store = TimeSeriesStore()
+        store.series("a", "m1")
+        store.series("b", "m2")
+        assert store.backends() == {"a", "b"}
+
+    def test_retention_propagates(self):
+        store = TimeSeriesStore(max_age_s=42.0)
+        assert store.series("a", "m").max_age_s == 42.0

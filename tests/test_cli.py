@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario-1" in out
+        assert "l3" in out
+        assert "fig9" in out
+
+
+class TestRun:
+    def test_runs_scenario(self, capsys):
+        code = main(["run", "--scenario", "scenario-1", "--algorithm",
+                     "round-robin", "--duration", "15", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "99%" in out  # the latency spectrum table
+        assert "success rate" in out
+
+    def test_l3_prints_weights(self, capsys):
+        main(["run", "--algorithm", "l3", "--duration", "15"])
+        assert "final weights" in capsys.readouterr().out
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "psychic"])
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scenario", "scenario-42"])
+
+
+class TestHotel:
+    def test_runs_hotel(self, capsys):
+        code = main(["hotel", "--algorithm", "round-robin", "--rps", "30",
+                     "--duration", "15"])
+        assert code == 0
+        assert "hotel-reservation" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    def test_export_and_run_trace(self, tmp_path, capsys):
+        trace = tmp_path / "s5.json"
+        assert main(["export-trace", "scenario-5", str(trace)]) == 0
+        assert trace.exists()
+        code = main(["run", "--trace", str(trace), "--algorithm",
+                     "round-robin", "--duration", "15"])
+        assert code == 0
+        assert "scenario-5" in capsys.readouterr().out
+
+
+class TestFigure:
+    def test_pure_function_figure(self, capsys):
+        assert main(["figure", "fig4"]) == 0
+        assert "rate-control" in capsys.readouterr().out
+
+    def test_trace_figures(self, capsys):
+        assert main(["figure", "fig1"]) == 0
+        assert "scenario-1" in capsys.readouterr().out
+        assert main(["figure", "fig6"]) == 0
+        assert "scenario-4" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])

@@ -1,0 +1,55 @@
+"""CLI figure-command wiring, with the expensive experiments stubbed."""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.results import ComparisonTable
+from repro.cli import main
+
+
+def stub_bar(title="stub"):
+    table = ComparisonTable(title, baseline="round-robin")
+    table.add("round-robin", p99_ms=100.0)
+    table.add("c3", p99_ms=90.0)
+    table.add("l3", p99_ms=80.0)
+    return experiments.BarExperiment("Fig. X", title, table)
+
+
+@pytest.fixture
+def stubbed(monkeypatch):
+    monkeypatch.setattr(
+        experiments, "fig7_penalty_factor_sweep",
+        lambda **kw: stub_bar("penalty"))
+    monkeypatch.setattr(
+        experiments, "fig8_ewma_vs_peakewma",
+        lambda **kw: stub_bar("peak"))
+    monkeypatch.setattr(
+        experiments, "fig9_hotel_reservation",
+        lambda **kw: stub_bar("hotel"))
+    monkeypatch.setattr(
+        experiments, "fig10_scenario_comparison",
+        lambda **kw: {"scenario-1": stub_bar("s1")})
+    monkeypatch.setattr(
+        experiments, "fig11_12_failure_scenarios",
+        lambda **kw: {"failure-1": stub_bar("f1")})
+
+
+class TestFigureWiring:
+    @pytest.mark.parametrize("figure,needle", [
+        ("fig7", "penalty"),
+        ("fig8", "peak"),
+        ("fig9", "hotel"),
+        ("fig10", "s1"),
+        ("fig11", "f1"),
+        ("fig12", "f1"),
+    ])
+    def test_each_figure_renders(self, stubbed, capsys, figure, needle):
+        assert main(["figure", figure, "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert needle in out
+
+    def test_bar_chart_attached_to_bar_figures(self, stubbed, capsys):
+        main(["figure", "fig9", "--fast"])
+        out = capsys.readouterr().out
+        assert "P99 latency" in out
+        assert "#" in out  # the ASCII bars

@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are documentation that executes — these tests keep them honest.
+The slower demos (autoscaling, cost_aware) have fixed internal durations
+and are exercised through their underlying APIs elsewhere; here we run the
+parameterisable ones at small scale.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 300.0):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, check=False)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "20")
+        assert result.returncode == 0, result.stderr
+        assert "round-robin" in result.stdout
+        assert "l3" in result.stdout
+        assert "final TrafficSplit weights" in result.stdout
+
+    def test_hotel_reservation(self):
+        result = run_example("hotel_reservation.py", "60", "30")
+        assert result.returncode == 0, result.stderr
+        assert "paper Fig. 9" in result.stdout
+        assert "P50 over time" in result.stdout
+
+    def test_failure_injection(self):
+        result = run_example("failure_injection.py", "30")
+        assert result.returncode == 0, result.stderr
+        assert "penalty factor sweep" in result.stdout
+        assert "dynamic penalty" in result.stdout
+
+    def test_social_network(self):
+        result = run_example("social_network.py", "60", "30")
+        assert result.returncode == 0, result.stderr
+        assert "full latency spectra" in result.stdout
+
+    def test_custom_mesh(self):
+        result = run_example("custom_mesh.py")
+        assert result.returncode == 0, result.stderr
+        assert "during eu-west degradation" in result.stdout
+        # The degraded cluster's weight collapsed during the episode.
+        lines = [l for l in result.stdout.splitlines()
+                 if "during eu-west degradation" in l]
+        assert lines
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart.py", "hotel_reservation.py", "failure_injection.py",
+    "custom_mesh.py", "autoscaling.py", "cost_aware.py",
+    "social_network.py",
+])
+def test_example_compiles(name):
+    """Every example at least byte-compiles (including the slow ones)."""
+    source = (EXAMPLES / name).read_text(encoding="utf-8")
+    compile(source, name, "exec")

@@ -1,0 +1,56 @@
+"""The public API surface: exports exist, are documented, and cohere."""
+
+import inspect
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_all_exports_documented(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            item = getattr(repro, name)
+            doc = inspect.getdoc(item)
+            assert doc and doc.strip(), f"{name} lacks a docstring"
+
+    def test_version_is_semver(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_scenario_and_balancer_registries_agree_with_docs(self):
+        assert len(repro.SCENARIO_NAMES) == 7
+        assert "l3" in repro.BALANCER_NAMES
+        assert "round-robin" in repro.BALANCER_NAMES
+        assert "c3" in repro.BALANCER_NAMES
+
+
+class TestSubpackages:
+    def test_every_subpackage_has_all(self):
+        import repro.analysis
+        import repro.balancers
+        import repro.core
+        import repro.mesh
+        import repro.sim
+        import repro.telemetry
+        import repro.workloads
+
+        for pkg in (repro.analysis, repro.balancers, repro.core, repro.mesh,
+                    repro.sim, repro.telemetry, repro.workloads):
+            assert pkg.__all__, pkg.__name__
+            for name in pkg.__all__:
+                assert hasattr(pkg, name), f"{pkg.__name__}.{name}"
+
+    def test_module_docstrings_everywhere(self):
+        import pathlib
+        import ast
+
+        root = pathlib.Path(repro.__file__).parent
+        for path in root.rglob("*.py"):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            assert ast.get_docstring(tree), f"{path} lacks a module docstring"

@@ -1,0 +1,121 @@
+"""Tests for time-varying workload profiles."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.profiles import (
+    BackendProfile,
+    PiecewiseSeries,
+    constant_backend_profile,
+    constant_series,
+    pulse_series,
+    scaled_series,
+)
+
+
+class TestPiecewiseSeries:
+    def test_needs_points(self):
+        with pytest.raises(ConfigError):
+            PiecewiseSeries([])
+
+    def test_duplicate_times_rejected(self):
+        with pytest.raises(ConfigError):
+            PiecewiseSeries([(0.0, 1.0), (0.0, 2.0)])
+
+    def test_constant(self):
+        series = constant_series(7.0)
+        assert series.value_at(0.0) == 7.0
+        assert series.value_at(1e6) == 7.0
+
+    def test_linear_interpolation(self):
+        series = PiecewiseSeries([(0.0, 0.0), (10.0, 100.0)])
+        assert series.value_at(5.0) == 50.0
+        assert series.value_at(2.5) == 25.0
+
+    def test_clamps_outside_range_without_period(self):
+        series = PiecewiseSeries([(10.0, 1.0), (20.0, 2.0)])
+        assert series.value_at(0.0) == 1.0
+        assert series.value_at(99.0) == 2.0
+
+    def test_period_validation(self):
+        with pytest.raises(ConfigError):
+            PiecewiseSeries([(0.0, 1.0), (10.0, 2.0)], period_s=10.0)
+
+    def test_periodic_wrapping(self):
+        series = PiecewiseSeries(
+            [(0.0, 0.0), (10.0, 100.0)], period_s=20.0)
+        assert series.value_at(25.0) == series.value_at(5.0)
+        assert series.value_at(45.0) == series.value_at(5.0)
+
+    def test_wrap_interpolates_across_seam(self):
+        series = PiecewiseSeries(
+            [(0.0, 0.0), (10.0, 100.0)], period_s=20.0)
+        # Between t=10 (value 100) and t=20==0 (value 0) the seam
+        # interpolates linearly: at t=15 we are halfway.
+        assert series.value_at(15.0) == pytest.approx(50.0)
+
+    def test_min_max(self):
+        series = PiecewiseSeries([(0.0, 3.0), (5.0, 9.0), (10.0, 1.0)])
+        assert series.min_value() == 1.0
+        assert series.max_value() == 9.0
+
+
+class TestScaledAndPulse:
+    def test_scaled_series(self):
+        base = PiecewiseSeries([(0.0, 2.0), (10.0, 4.0)], period_s=20.0)
+        scaled = scaled_series(base, 0.5)
+        assert scaled.value_at(0.0) == 1.0
+        assert scaled.value_at(10.0) == 2.0
+        assert scaled.period_s == 20.0
+
+    def test_pulse_series_mostly_base(self, rng):
+        series = pulse_series(rng, 600.0, pulse_prob=0.0)
+        assert series.max_value() == 1.0
+
+    def test_pulse_series_has_pulses(self, rng):
+        series = pulse_series(rng, 600.0, pulse_prob=1.0, pulse_lo=3.0,
+                              pulse_hi=3.0)
+        assert series.min_value() == 3.0
+
+    def test_pulse_duration_validation(self, rng):
+        with pytest.raises(ConfigError):
+            pulse_series(rng, 0.0)
+
+
+class TestBackendProfile:
+    def test_constant_profile_samples_in_range(self, rng):
+        profile = constant_backend_profile(0.05, 0.20)
+        samples = sorted(
+            profile.sample_service_time(rng, 0.0) for _ in range(20_000))
+        median = samples[len(samples) // 2]
+        p99 = samples[int(len(samples) * 0.99)]
+        assert math.isclose(median, 0.05, rel_tol=0.05)
+        assert math.isclose(p99, 0.20, rel_tol=0.15)
+
+    def test_failure_sampling(self, rng):
+        healthy = constant_backend_profile(0.05, 0.1)
+        assert not any(
+            healthy.sample_failure(rng, 0.0) for _ in range(100))
+        broken = constant_backend_profile(0.05, 0.1, failure_prob=1.0)
+        assert all(broken.sample_failure(rng, 0.0) for _ in range(100))
+
+    def test_time_varying_failure(self, rng):
+        profile = BackendProfile(
+            median_latency_s=constant_series(0.05),
+            p99_latency_s=constant_series(0.1),
+            failure_prob=PiecewiseSeries([(0.0, 0.0), (10.0, 1.0)]),
+        )
+        assert not profile.sample_failure(rng, 0.0)
+        assert profile.sample_failure(rng, 10.0)
+
+    def test_p99_below_median_is_tolerated(self, rng):
+        # Series may momentarily cross; sampling clamps tail >= median.
+        profile = BackendProfile(
+            median_latency_s=constant_series(0.1),
+            p99_latency_s=constant_series(0.05),
+            failure_prob=constant_series(0.0),
+        )
+        sample = profile.sample_service_time(rng, 0.0)
+        assert sample > 0

@@ -1,0 +1,147 @@
+"""Tests for the synthetic TIER-like scenarios.
+
+Each assertion corresponds to a characteristic the paper publishes for the
+original traces (Figs. 1, 2, 6, 7a; §5.3.2 prose).
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.scenarios import (
+    CLUSTERS,
+    SCENARIO_NAMES,
+    TRACE_PERIOD_S,
+    build_scenario,
+)
+
+
+def series_values(series, step_s=5.0, duration_s=TRACE_PERIOD_S):
+    return [series.value_at(i * step_s)
+            for i in range(int(duration_s / step_s))]
+
+
+class TestRegistry:
+    def test_all_scenarios_build(self):
+        for name in SCENARIO_NAMES:
+            scenario = build_scenario(name)
+            assert scenario.name == name
+            assert scenario.clusters() == sorted(CLUSTERS)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            build_scenario("scenario-99")
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ConfigError):
+            build_scenario("scenario-1", duration_s=0.0)
+
+    def test_deterministic_across_builds(self):
+        first = build_scenario("scenario-1")
+        second = build_scenario("scenario-1")
+        for cluster in CLUSTERS:
+            a = first.cluster_profiles[cluster].p99_latency_s
+            b = second.cluster_profiles[cluster].p99_latency_s
+            assert series_values(a) == series_values(b)
+
+    def test_scenarios_differ_from_each_other(self):
+        one = build_scenario("scenario-1")
+        two = build_scenario("scenario-2")
+        a = series_values(one.cluster_profiles["cluster-1"].median_latency_s)
+        b = series_values(two.cluster_profiles["cluster-1"].median_latency_s)
+        assert a != b
+
+
+class TestScenario1:
+    def test_median_range_and_cluster2_spikes(self):
+        scenario = build_scenario("scenario-1")
+        for cluster in CLUSTERS:
+            values = series_values(
+                scenario.cluster_profiles[cluster].median_latency_s)
+            assert min(values) >= 0.040
+        c2 = series_values(
+            scenario.cluster_profiles["cluster-2"].median_latency_s)
+        assert max(c2) > 0.10  # Fig. 1a: cluster-2 median spikes
+
+    def test_rps_stable_around_300(self):
+        scenario = build_scenario("scenario-1")
+        values = series_values(scenario.rps)
+        assert 270 <= min(values) and max(values) <= 330
+
+    def test_no_failures(self):
+        scenario = build_scenario("scenario-1")
+        for profile in scenario.cluster_profiles.values():
+            assert profile.failure_prob.max_value() == 0.0
+
+
+class TestScenario2:
+    def test_single_digit_medians(self):
+        scenario = build_scenario("scenario-2")
+        for cluster in CLUSTERS:
+            values = series_values(
+                scenario.cluster_profiles[cluster].median_latency_s)
+            assert 0.002 <= min(values) and max(values) <= 0.015
+
+    def test_p99_spikes_over_two_seconds(self):
+        scenario = build_scenario("scenario-2")
+        peak = max(
+            max(series_values(profile.p99_latency_s))
+            for profile in scenario.cluster_profiles.values())
+        assert peak > 2.0
+
+    def test_rps_fluctuates_50_to_200(self):
+        scenario = build_scenario("scenario-2")
+        values = series_values(scenario.rps)
+        assert min(values) >= 40 and max(values) <= 210
+        assert max(values) - min(values) > 50  # genuinely fluctuating
+
+
+class TestScenario345:
+    def test_tail_ordering(self):
+        peaks = {}
+        for name in ("scenario-3", "scenario-4", "scenario-5"):
+            scenario = build_scenario(name)
+            peaks[name] = max(
+                max(series_values(profile.p99_latency_s))
+                for profile in scenario.cluster_profiles.values())
+        assert peaks["scenario-4"] > peaks["scenario-3"] > peaks["scenario-5"]
+
+    def test_scenario5_is_calm(self):
+        scenario = build_scenario("scenario-5")
+        for profile in scenario.cluster_profiles.values():
+            assert max(series_values(profile.p99_latency_s)) < 0.5
+
+
+class TestFailureScenarios:
+    def test_failure1_heavy(self):
+        scenario = build_scenario("failure-1")
+        rates = [
+            series_values(profile.failure_prob)
+            for profile in scenario.cluster_profiles.values()
+        ]
+        average = sum(sum(r) for r in rates) / sum(len(r) for r in rates)
+        # ~91.4 % average success -> ~8.6 % average failure.
+        assert 0.04 < average < 0.15
+        assert max(max(r) for r in rates) >= 0.4  # drops to <= 60 % success
+
+    def test_failure2_light_with_healthy_backend(self):
+        scenario = build_scenario("failure-2")
+        averages = {
+            cluster: (lambda v: sum(v) / len(v))(
+                series_values(profile.failure_prob))
+            for cluster, profile in scenario.cluster_profiles.items()
+        }
+        # Average success ~98.5 %, with cluster-3 the near-perfect backend
+        # that sets the success-rate ceiling (avg 99.8 %).
+        overall = sum(averages.values()) / len(averages)
+        assert 0.005 < overall < 0.03
+        assert averages["cluster-3"] < 0.005
+
+    def test_failure_scenarios_share_base_latency(self):
+        base = build_scenario("scenario-1")
+        failing = build_scenario("failure-1")
+        for cluster in CLUSTERS:
+            a = series_values(
+                base.cluster_profiles[cluster].median_latency_s)
+            b = series_values(
+                failing.cluster_profiles[cluster].median_latency_s)
+            assert a == b

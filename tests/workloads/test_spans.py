@@ -1,0 +1,163 @@
+"""Tests for the span → scenario pipeline (§5.1 methodology)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.spans import (
+    NETWORK,
+    SERVER,
+    Span,
+    execution_latencies,
+    profile_from_spans,
+    scenario_from_spans,
+)
+
+
+def server_span(trace, span, service="api", cluster="cluster-1",
+                start=0.0, end=0.1, parent=None):
+    return Span(trace, span, parent, service, cluster, start, end, SERVER)
+
+
+def network_span(trace, span, parent, start, end, cluster="cluster-1"):
+    return Span(trace, span, parent, "wan", cluster, start, end, NETWORK)
+
+
+class TestSpanValidation:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigError):
+            Span("t", "s", None, "svc", "c1", 5.0, 4.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            Span("t", "s", None, "svc", "c1", 0.0, 1.0, kind="client")
+
+    def test_duration(self):
+        assert server_span("t", "s", start=1.0, end=3.5).duration_s == 2.5
+
+
+class TestExecutionLatencies:
+    def test_plain_span_is_its_duration(self):
+        out = execution_latencies([server_span("t", "s", start=0.0, end=0.2)])
+        assert out == [("api", "cluster-1", 0.0, pytest.approx(0.2))]
+
+    def test_network_children_subtracted(self):
+        spans = [
+            server_span("t", "root", start=0.0, end=0.100),
+            network_span("t", "n1", "root", 0.010, 0.030),  # 20 ms out
+            network_span("t", "n2", "root", 0.070, 0.090),  # 20 ms back
+        ]
+        out = execution_latencies(spans)
+        assert out[0][3] == pytest.approx(0.060)
+
+    def test_server_children_not_subtracted(self):
+        # The paper keeps downstream wait time (it is part of the
+        # service's observed latency); only network segments go.
+        spans = [
+            server_span("t", "root", start=0.0, end=0.100),
+            server_span("t", "child", service="db", start=0.020,
+                        end=0.080, parent="root"),
+        ]
+        out = {svc: exe for svc, _c, _s, exe in execution_latencies(spans)}
+        assert out["api"] == pytest.approx(0.100)
+        assert out["db"] == pytest.approx(0.060)
+
+    def test_grandchild_network_not_subtracted_from_root(self):
+        spans = [
+            server_span("t", "root", start=0.0, end=0.100),
+            server_span("t", "child", service="db", start=0.020,
+                        end=0.080, parent="root"),
+            network_span("t", "n", "child", 0.030, 0.050),
+        ]
+        out = {svc: exe for svc, _c, _s, exe in execution_latencies(spans)}
+        assert out["api"] == pytest.approx(0.100)
+        assert out["db"] == pytest.approx(0.040)
+
+    def test_network_spans_never_reported(self):
+        spans = [network_span("t", "n", None, 0.0, 1.0)]
+        assert execution_latencies(spans) == []
+
+    def test_same_span_ids_in_different_traces(self):
+        spans = [
+            server_span("t1", "root", start=0.0, end=0.100),
+            network_span("t1", "n", "root", 0.0, 0.020),
+            server_span("t2", "root", start=0.0, end=0.100),
+        ]
+        out = sorted(exe for _s, _c, _t, exe in execution_latencies(spans))
+        assert out == [pytest.approx(0.080), pytest.approx(0.100)]
+
+    def test_overlapping_network_cannot_go_negative(self):
+        spans = [
+            server_span("t", "root", start=0.0, end=0.010),
+            network_span("t", "n", "root", 0.0, 0.050),  # longer than parent
+        ]
+        assert execution_latencies(spans)[0][3] == 0.0
+
+
+def synthetic_spans(duration_s=120.0, rps=20.0, clusters=("cluster-1",
+                                                          "cluster-2")):
+    """A two-cluster span corpus with cluster-2 twice as slow."""
+    rng = random.Random(9)
+    spans = []
+    count = int(duration_s * rps)
+    for i in range(count):
+        start = i / rps
+        cluster = clusters[i % len(clusters)]
+        base = 0.020 if cluster == "cluster-1" else 0.040
+        execution = rng.lognormvariate(
+            __import__("math").log(base), 0.4)
+        trace = f"t{i}"
+        spans.append(server_span(
+            trace, "root", cluster=cluster, start=start,
+            end=start + execution + 0.020))
+        spans.append(network_span(
+            trace, "n", "root", start, start + 0.020, cluster=cluster))
+    return spans
+
+
+class TestProfileFromSpans:
+    def test_network_excluded_from_profile(self):
+        spans = synthetic_spans()
+        profile = profile_from_spans(spans, "api", "cluster-1", 120.0)
+        # Median of execution only (~20 ms), not execution+network (~40).
+        assert 0.012 < profile.median_latency_s.value_at(60.0) < 0.030
+
+    def test_missing_service_rejected(self):
+        with pytest.raises(ConfigError):
+            profile_from_spans(synthetic_spans(), "ghost", "cluster-1", 120.0)
+
+    def test_p99_above_median(self):
+        profile = profile_from_spans(
+            synthetic_spans(), "api", "cluster-1", 120.0)
+        for t in (15.0, 45.0, 90.0):
+            assert (profile.p99_latency_s.value_at(t)
+                    >= profile.median_latency_s.value_at(t))
+
+
+class TestScenarioFromSpans:
+    def test_builds_runnable_scenario(self):
+        scenario = scenario_from_spans(synthetic_spans(), "api", 120.0)
+        assert scenario.clusters() == ["cluster-1", "cluster-2"]
+        assert 15.0 < scenario.rps.value_at(60.0) < 25.0
+        # cluster-2 is modelled twice as slow.
+        slow = scenario.cluster_profiles["cluster-2"]
+        fast = scenario.cluster_profiles["cluster-1"]
+        assert (slow.median_latency_s.value_at(60.0)
+                > fast.median_latency_s.value_at(60.0) * 1.5)
+
+    def test_scenario_drives_benchmark(self):
+        from repro.bench.coordinator import (
+            ScenarioBenchConfig,
+            run_scenario_benchmark,
+        )
+
+        scenario = scenario_from_spans(synthetic_spans(), "api", 120.0)
+        result = run_scenario_benchmark(
+            scenario, "l3", duration_s=30.0, seed=3,
+            env=ScenarioBenchConfig(warmup_s=10.0, drain_s=10.0))
+        assert result.request_count > 100
+
+    def test_no_spans_rejected(self):
+        with pytest.raises(ConfigError):
+            scenario_from_spans([], "api", 120.0)

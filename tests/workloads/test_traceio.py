@@ -1,0 +1,97 @@
+"""Tests for scenario JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.scenarios import SCENARIO_NAMES, build_scenario
+from repro.workloads.traceio import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+
+def series_points(series, step=7.0, until=600.0):
+    return [series.value_at(t * step) for t in range(int(until / step))]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_every_builtin_scenario_roundtrips(self, name):
+        original = build_scenario(name)
+        restored = scenario_from_dict(scenario_to_dict(original))
+        assert restored.name == original.name
+        assert restored.duration_s == original.duration_s
+        assert restored.clusters() == original.clusters()
+        for cluster in original.clusters():
+            a = original.cluster_profiles[cluster]
+            b = restored.cluster_profiles[cluster]
+            assert series_points(a.median_latency_s) == series_points(
+                b.median_latency_s)
+            assert series_points(a.p99_latency_s) == series_points(
+                b.p99_latency_s)
+            assert series_points(a.failure_prob) == series_points(
+                b.failure_prob)
+            assert a.failure_latency_s == b.failure_latency_s
+        assert series_points(original.rps) == series_points(restored.rps)
+
+    def test_file_roundtrip(self, tmp_path):
+        original = build_scenario("scenario-2")
+        path = tmp_path / "trace.json"
+        save_scenario(original, path)
+        restored = load_scenario(path)
+        assert restored.name == "scenario-2"
+        assert series_points(original.rps) == series_points(restored.rps)
+
+    def test_saved_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_scenario(build_scenario("scenario-5"), path)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        assert set(data["clusters"]) == {
+            "cluster-1", "cluster-2", "cluster-3"}
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self):
+        data = scenario_to_dict(build_scenario("scenario-1"))
+        data["format_version"] = 99
+        with pytest.raises(ConfigError):
+            scenario_from_dict(data)
+
+    def test_missing_clusters_rejected(self):
+        data = scenario_to_dict(build_scenario("scenario-1"))
+        data["clusters"] = {}
+        with pytest.raises(ConfigError):
+            scenario_from_dict(data)
+
+    def test_series_length_mismatch_rejected(self):
+        data = scenario_to_dict(build_scenario("scenario-1"))
+        data["rps"]["values"] = data["rps"]["values"][:-1]
+        with pytest.raises(ConfigError):
+            scenario_from_dict(data)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json at all {")
+        with pytest.raises(ConfigError):
+            load_scenario(path)
+
+
+class TestLoadedScenarioRuns:
+    def test_loaded_scenario_drives_a_benchmark(self, tmp_path):
+        from repro.bench.coordinator import (
+            ScenarioBenchConfig,
+            run_scenario_benchmark,
+        )
+
+        path = tmp_path / "trace.json"
+        save_scenario(build_scenario("scenario-5"), path)
+        scenario = load_scenario(path)
+        result = run_scenario_benchmark(
+            scenario, "l3", duration_s=20.0, seed=3,
+            env=ScenarioBenchConfig(warmup_s=5.0, drain_s=10.0))
+        assert result.request_count > 100
