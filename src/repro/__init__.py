@@ -41,6 +41,19 @@ from repro.core.weighting import (
 from repro.core.introspection import ControllerIntrospection
 from repro.core.leader import ControllerReplica, LeaseLock
 from repro.balancers.factory import BALANCER_NAMES, make_balancer
+from repro.faults import (
+    ClusterOutage,
+    ControllerPause,
+    Fault,
+    FaultInjector,
+    LinkDegradation,
+    LinkPartition,
+    ReplicaCrash,
+    ReplicaRestart,
+    ScrapeOutage,
+    parse_fault_spec,
+)
+from repro.mesh.ejection import OutlierEjectionConfig
 from repro.workloads.scenarios import SCENARIO_NAMES, build_scenario
 from repro.workloads.traceio import load_scenario, save_scenario
 
@@ -50,17 +63,27 @@ __all__ = [
     "BALANCER_NAMES",
     "BackendSnapshot",
     "BenchmarkResult",
+    "ClusterOutage",
     "ControllerIntrospection",
+    "ControllerPause",
     "ControllerReplica",
     "CostConfig",
     "Ewma",
+    "Fault",
+    "FaultInjector",
     "L3Config",
     "L3Controller",
     "LeaseLock",
+    "LinkDegradation",
+    "LinkPartition",
     "MetricSample",
+    "OutlierEjectionConfig",
     "PeakEwma",
+    "ReplicaCrash",
+    "ReplicaRestart",
     "SCENARIO_NAMES",
     "ScenarioBenchConfig",
+    "ScrapeOutage",
     "WeightingConfig",
     "apply_rate_control",
     "build_scenario",
@@ -68,6 +91,7 @@ __all__ = [
     "half_life_to_beta",
     "load_scenario",
     "make_balancer",
+    "parse_fault_spec",
     "relative_change",
     "run_callgraph_benchmark",
     "run_hotel_benchmark",

@@ -112,6 +112,16 @@ class C3Controller:
         }
         self.last_weights: dict[str, int] = {}
         self.reconcile_count = 0
+        # Pause support (fault injection), mirroring L3Controller.
+        self.paused = False
+
+    def pause(self) -> None:
+        """Suspend the reconcile loop (fault injection: stalled operator)."""
+        self.paused = True
+
+    def resume(self) -> None:
+        """Resume a paused reconcile loop."""
+        self.paused = False
 
     def reconcile(self, now: float) -> dict[str, int]:
         """One metrics → cubic scores → weights cycle (pushed to the sink)."""
@@ -158,7 +168,8 @@ class C3Controller:
         try:
             while True:
                 yield sim.timeout(self.config.reconcile_interval_s)
-                self.reconcile(sim.now)
+                if not self.paused:
+                    self.reconcile(sim.now)
         except Interrupted:
             return
 

@@ -16,6 +16,7 @@ from repro.analysis.stats import success_rate as _success_rate
 from repro.balancers.factory import make_balancer
 from repro.core.config import L3Config
 from repro.errors import ConfigError
+from repro.faults.base import FaultInjector
 from repro.mesh.mesh import ServiceMesh
 from repro.mesh.network import WanLink
 from repro.sim.engine import Simulator
@@ -51,6 +52,13 @@ class ScenarioBenchConfig:
     # Client retries on failure (0 = the paper's no-retry benchmarks).
     max_retries: int = 0
     retry_backoff_s: float = 0.0
+    # Resilience knobs (both off = the paper's evaluated configuration).
+    # A per-attempt deadline is required to survive blackhole faults: a
+    # dead-silent backend otherwise hangs each request forever.
+    request_timeout_s: float | None = None
+    # Optional consecutive-failure circuit breaker
+    # (repro.mesh.ejection.OutlierEjectionConfig).
+    outlier_ejection: object | None = None
 
     def __post_init__(self):
         for name in ("warmup_s", "replica_capacity", "scrape_interval_s",
@@ -59,6 +67,9 @@ class ScenarioBenchConfig:
                 raise ConfigError(f"{name} must be >= 0")
         if self.replicas < 1:
             raise ConfigError(f"replicas must be >= 1: {self.replicas}")
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ConfigError(
+                f"request timeout must be positive: {self.request_timeout_s}")
 
 
 @dataclass
@@ -74,6 +85,8 @@ class BenchmarkResult:
         controller_weights: final TrafficSplit weights, if the algorithm
             is controller-based (introspection, as the paper's coordinator
             retrieves L3's internal state).
+        fault_log: ``(sim_time, description)`` per applied/reverted fault,
+            when the run injected any.
     """
 
     scenario: str
@@ -82,6 +95,7 @@ class BenchmarkResult:
     duration_s: float
     records: list
     controller_weights: dict = field(default_factory=dict)
+    fault_log: list = field(default_factory=list)
 
     @property
     def request_count(self) -> int:
@@ -135,6 +149,7 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
                            duration_s: float = 600.0, seed: int = 1,
                            l3_config: L3Config | None = None,
                            env: ScenarioBenchConfig | None = None,
+                           faults: list | None = None,
                            ) -> BenchmarkResult:
     """Run one TIER-like scenario under one balancing algorithm.
 
@@ -149,6 +164,9 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
         seed: master seed — one seed, one fully deterministic run.
         l3_config: L3 tunables (penalty sweeps etc.).
         env: environment knobs; defaults to the paper's setup.
+        faults: extra :class:`~repro.faults.base.Fault` schedules, merged
+            with ``scenario.faults``. Fault times count from the start of
+            the measured period (warm-up is prepended automatically).
     """
     env = env or ScenarioBenchConfig()
     if isinstance(scenario, str):
@@ -170,8 +188,19 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
         local_cluster=env.client_cluster)
     proxy = mesh.client_proxy(
         env.client_cluster, SCENARIO_SERVICE, balancer,
-        max_retries=env.max_retries, retry_backoff_s=env.retry_backoff_s)
+        max_retries=env.max_retries, retry_backoff_s=env.retry_backoff_s,
+        request_timeout_s=env.request_timeout_s,
+        outlier_ejection=env.outlier_ejection)
     mesh.register_all_telemetry(scraper)
+
+    all_faults = list(scenario.faults) + list(faults or [])
+    injector = None
+    if all_faults:
+        controller = getattr(balancer, "controller", None)
+        injector = FaultInjector(
+            mesh, scraper=scraper,
+            controllers=[controller] if controller is not None else [])
+        injector.schedule_all(all_faults, offset_s=env.warmup_s)
 
     scrape_proc = sim.spawn(scraper.run(sim), name="scraper")
     balancer.start(sim)
@@ -199,7 +228,8 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
     return BenchmarkResult(
         scenario=scenario.name, algorithm=algorithm, seed=seed,
         duration_s=duration_s, records=measured,
-        controller_weights=weights)
+        controller_weights=weights,
+        fault_log=list(injector.log) if injector else [])
 
 
 def run_callgraph_benchmark(build_application, app_name: str,

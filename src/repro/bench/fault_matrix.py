@@ -1,0 +1,250 @@
+"""Fault-matrix sweep: fault type × balancer, reporting recovery time.
+
+The paper's resilience claim (§5.2.3, Figs. 11-12) is that L3 reroutes
+around a failing cluster within one reconcile interval and recovers when
+it heals. This harness generalises the claim into a matrix: every fault
+kind from :mod:`repro.faults` is injected into a *steady* scenario (flat
+latency, flat load — so any disturbance in the measured series is the
+fault, not the trace), once per balancing algorithm, and three numbers
+come out per cell:
+
+* ``faulted_share_pct`` — share of during-fault traffic still sent to
+  the faulted cluster (lower = faster rerouting),
+* ``fault_p99_ms`` — client-perceived P99 during the fault,
+* ``recovery_intervals`` — reconcile intervals after the fault clears
+  until a 5-second bucket's P99 is back within 10 % of the pre-fault
+  P99 (the paper's "recovers within one interval" metric).
+
+Runs enable a client-side request deadline (`request_timeout_s`): the
+matrix includes blackhole outages, which are unsurvivable without one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.percentiles import exact_percentile
+from repro.analysis.stats import success_rate
+from repro.bench.coordinator import ScenarioBenchConfig, run_scenario_benchmark
+from repro.bench.results import format_table
+from repro.faults import (
+    ClusterOutage,
+    ControllerPause,
+    LinkDegradation,
+    ReplicaCrash,
+    ScrapeOutage,
+)
+from repro.mesh.cluster import backend_name
+from repro.workloads.profiles import constant_backend_profile, constant_series
+from repro.workloads.scenarios import CLUSTERS, Scenario
+
+# The cluster every data-plane fault hits (never the client's cluster-1,
+# so the client's local network path stays clean).
+FAULT_CLUSTER = "cluster-2"
+
+# Default matrix timing: fault hits one minute into the measured period,
+# lasts 45 s (nine reconcile intervals — long enough for the controller
+# to fully converge onto the remaining clusters), and the run continues
+# well past the heal so recovery is observable.
+DEFAULT_FAULT_START_S = 60.0
+DEFAULT_FAULT_DURATION_S = 45.0
+
+# A recovery bucket matches the controller's reconcile interval.
+RECOVERY_BUCKET_S = 5.0
+RECOVERY_TOLERANCE = 0.10
+
+DEFAULT_ALGORITHMS = ("l3", "c3", "round-robin")
+
+# Algorithms with a reconcile-loop controller; ControllerPause targets
+# only these (pausing a controller that does not exist is meaningless).
+CONTROLLER_ALGORITHMS = ("l3", "l3-peak", "c3")
+
+
+def steady_scenario(duration_s: float, rps: float = 150.0,
+                    median_s: float = 0.040,
+                    p99_s: float = 0.120) -> Scenario:
+    """A flat scenario: identical constant profiles, constant load.
+
+    Under it every balancer reaches a boring steady state, so the fault
+    injection is the *only* disturbance in the measured series — which is
+    what makes pre/during/post comparisons meaningful.
+    """
+    profiles = {
+        cluster: constant_backend_profile(median_s, p99_s)
+        for cluster in CLUSTERS
+    }
+    return Scenario(
+        "steady", duration_s, profiles, constant_series(rps),
+        "flat latency and load; disturbances come from injected faults")
+
+
+def matrix_fault_cases(start_s: float = DEFAULT_FAULT_START_S,
+                       duration_s: float = DEFAULT_FAULT_DURATION_S) -> dict:
+    """The fault matrix rows: one representative schedule per fault kind."""
+    return {
+        "replica-crash": [
+            ReplicaCrash("api", FAULT_CLUSTER, at_s=start_s,
+                         duration_s=duration_s)],
+        "cluster-outage": [
+            ClusterOutage(FAULT_CLUSTER, at_s=start_s,
+                          duration_s=duration_s)],
+        "cluster-blackhole": [
+            ClusterOutage(FAULT_CLUSTER, at_s=start_s,
+                          duration_s=duration_s, mode="blackhole")],
+        "link-degradation": [
+            LinkDegradation("cluster-1", FAULT_CLUSTER, at_s=start_s,
+                            duration_s=duration_s, multiplier=20.0,
+                            extra_delay_s=0.200)],
+        "scrape-outage": [
+            ScrapeOutage(at_s=start_s, duration_s=duration_s)],
+        "controller-pause": [
+            ControllerPause(at_s=start_s, duration_s=duration_s)],
+    }
+
+
+@dataclass
+class FaultCellResult:
+    """One (fault, algorithm) cell of the matrix.
+
+    ``faulted_share_pct`` averages over the *whole* fault window
+    (including the controller's reaction time);
+    ``shed_share_pct`` averages from 3 reconcile intervals into the fault
+    to its end — the "has the balancer rerouted" number the acceptance
+    criterion is about.
+    """
+
+    fault: str
+    algorithm: str
+    pre_p99_ms: float
+    fault_p99_ms: float
+    fault_success_pct: float
+    faulted_share_pct: float
+    shed_share_pct: float
+    recovery_intervals: int | None
+    result: object = field(repr=False, default=None)
+
+    def metrics(self) -> dict:
+        recovery = (float(self.recovery_intervals)
+                    if self.recovery_intervals is not None else None)
+        return {
+            "pre_p99_ms": self.pre_p99_ms,
+            "fault_p99_ms": self.fault_p99_ms,
+            "fault_success_pct": self.fault_success_pct,
+            "faulted_share_pct": self.faulted_share_pct,
+            "shed_share_pct": self.shed_share_pct,
+            "recovery_intervals": recovery,
+        }
+
+
+def _p99_ms(records) -> float:
+    if not records:
+        return float("nan")
+    return exact_percentile([r.latency_s for r in records], 0.99) * 1000.0
+
+
+def faulted_share(records, fault_start_s: float, fault_end_s: float,
+                  cluster: str = FAULT_CLUSTER,
+                  service: str = "api") -> float:
+    """Fraction of during-fault requests routed to the faulted cluster."""
+    target = backend_name(service, cluster)
+    window = [r for r in records
+              if fault_start_s <= r.intended_start_s < fault_end_s]
+    if not window:
+        return 0.0
+    return sum(1 for r in window if r.backend == target) / len(window)
+
+
+def recovery_intervals(records, fault_end_s: float, pre_fault_p99_s: float,
+                       bucket_s: float = RECOVERY_BUCKET_S,
+                       tolerance: float = RECOVERY_TOLERANCE) -> int | None:
+    """Reconcile intervals after the fault until the tail is back to normal.
+
+    Post-fault records are bucketed into reconcile-interval-sized windows;
+    the answer is the 1-based index of the first bucket whose P99 is within
+    ``tolerance`` of the pre-fault P99 (1 = recovered within one interval).
+    ``None`` means the tail never recovered inside the measured period.
+    """
+    threshold = pre_fault_p99_s * (1.0 + tolerance)
+    buckets: dict[int, list] = {}
+    for r in records:
+        if r.intended_start_s < fault_end_s:
+            continue
+        buckets.setdefault(
+            int((r.intended_start_s - fault_end_s) // bucket_s), []).append(r)
+    if not buckets:
+        return None
+    for index in range(max(buckets) + 1):
+        bucket = buckets.get(index)
+        if not bucket:
+            continue
+        if exact_percentile([r.latency_s for r in bucket], 0.99) <= threshold:
+            return index + 1
+    return None
+
+
+def run_fault_cell(fault_name: str, faults: list, algorithm: str,
+                   duration_s: float, seed: int,
+                   env: ScenarioBenchConfig) -> FaultCellResult:
+    """Run one (fault, algorithm) cell and extract its matrix metrics."""
+    scenario = steady_scenario(duration_s)
+    result = run_scenario_benchmark(
+        scenario, algorithm, duration_s=duration_s, seed=seed, env=env,
+        faults=faults)
+    # Fault times are measured-period-relative; records carry absolute
+    # simulation times — shift by the warm-up to compare them.
+    start = min(f.at_s for f in faults) + env.warmup_s
+    end = max(f.at_s + (f.duration_s or 0.0) for f in faults) + env.warmup_s
+    pre = [r for r in result.records if r.intended_start_s < start]
+    during = [r for r in result.records
+              if start <= r.intended_start_s < end]
+    pre_p99_s = (_p99_ms(pre) / 1000.0) if pre else float("nan")
+    reacted = min(start + 3 * RECOVERY_BUCKET_S, end)
+    return FaultCellResult(
+        fault=fault_name,
+        algorithm=algorithm,
+        pre_p99_ms=_p99_ms(pre),
+        fault_p99_ms=_p99_ms(during),
+        fault_success_pct=success_rate(during) * 100.0 if during else 100.0,
+        faulted_share_pct=faulted_share(result.records, start, end) * 100.0,
+        shed_share_pct=faulted_share(result.records, reacted, end) * 100.0,
+        recovery_intervals=recovery_intervals(
+            result.records, end, pre_p99_s),
+        result=result,
+    )
+
+
+def run_fault_matrix(algorithms=DEFAULT_ALGORITHMS,
+                     duration_s: float = 180.0, seed: int = 1,
+                     fault_start_s: float = DEFAULT_FAULT_START_S,
+                     fault_duration_s: float = DEFAULT_FAULT_DURATION_S,
+                     request_timeout_s: float = 1.0,
+                     ) -> dict[str, dict[str, FaultCellResult]]:
+    """Sweep every fault kind × every algorithm on the steady scenario.
+
+    Returns ``{fault_name: {algorithm: FaultCellResult}}``. All runs share
+    one deterministic seed, so cells differ only in their (fault,
+    algorithm) pair.
+    """
+    env = ScenarioBenchConfig(request_timeout_s=request_timeout_s)
+    matrix: dict[str, dict[str, FaultCellResult]] = {}
+    for fault_name, faults in matrix_fault_cases(
+            fault_start_s, fault_duration_s).items():
+        row: dict[str, FaultCellResult] = {}
+        for algorithm in algorithms:
+            if (fault_name == "controller-pause"
+                    and algorithm not in CONTROLLER_ALGORITHMS):
+                continue
+            row[algorithm] = run_fault_cell(
+                fault_name, faults, algorithm, duration_s, seed, env)
+        matrix[fault_name] = row
+    return matrix
+
+
+def render_fault_matrix(matrix: dict) -> str:
+    """Render the matrix as one table per fault kind."""
+    sections = []
+    for fault_name, row in matrix.items():
+        rows = {alg: cell.metrics() for alg, cell in row.items()}
+        sections.append(format_table(
+            f"fault matrix — {fault_name}", rows, baseline=None))
+    return "\n\n".join(sections)

@@ -42,6 +42,19 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--duration", type=float, default=120.0,
                      help="measured seconds (default 120)")
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--faults", metavar="SPEC", default=None,
+                     help="inject faults: 'kind@start[+duration]"
+                          "[:key=value...]' entries joined by ';' "
+                          "(e.g. 'cluster-outage@30+30:cluster=cluster-2"
+                          ":mode=blackhole'); see 'repro list' for kinds")
+    run.add_argument("--request-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-attempt client deadline (off by default, "
+                          "as in the paper; required to survive "
+                          "blackhole faults)")
+    run.add_argument("--outlier-ejection", action="store_true",
+                     help="enable the consecutive-failure circuit "
+                          "breaker (off by default, as in the paper)")
 
     export = commands.add_parser(
         "export-trace", help="save a built-in scenario as a JSON trace")
@@ -155,9 +168,12 @@ def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":
+        from repro.faults import FAULT_KINDS
+
         print("scenarios: ", ", ".join(SCENARIO_NAMES))
         print("algorithms:", ", ".join(BALANCER_NAMES))
         print("figures:   ", ", ".join(FIGURES))
+        print("faults:    ", ", ".join(FAULT_KINDS))
         return 0
 
     if args.command == "run":
@@ -166,9 +182,23 @@ def main(argv=None) -> int:
             from repro.workloads.traceio import load_scenario
 
             scenario = load_scenario(args.trace)
+        faults = None
+        env = None
+        if args.faults is not None:
+            from repro.faults import parse_fault_spec
+
+            faults = parse_fault_spec(args.faults)
+        if args.request_timeout is not None or args.outlier_ejection:
+            from repro.bench.coordinator import ScenarioBenchConfig
+            from repro.mesh.ejection import OutlierEjectionConfig
+
+            env = ScenarioBenchConfig(
+                request_timeout_s=args.request_timeout,
+                outlier_ejection=(OutlierEjectionConfig()
+                                  if args.outlier_ejection else None))
         result = run_scenario_benchmark(
             scenario, args.algorithm, duration_s=args.duration,
-            seed=args.seed)
+            seed=args.seed, env=env, faults=faults)
         _print_result(result)
         return 0
 

@@ -21,6 +21,7 @@ pure-algorithm benchmarks.
 
 from __future__ import annotations
 
+import math
 import typing
 from dataclasses import dataclass
 
@@ -29,6 +30,7 @@ from repro.core.ewma import Ewma, half_life_to_beta
 from repro.core.rate_control import apply_rate_control, relative_change
 from repro.core.state import BackendMetricState
 from repro.core.weighting import compute_weights
+from repro.errors import Interrupted
 
 
 @dataclass(frozen=True)
@@ -102,6 +104,15 @@ class L3Controller:
         self.last_relative_change: float = 0.0
         self.last_total_rps: float = 0.0
         self.reconcile_count: int = 0
+        # Degraded mode: reconciles that failed on the metrics source or
+        # the weight sink. The controller holds last-known-good weights and
+        # keeps running (the paper's operator must survive a Prometheus or
+        # API-server outage without zeroing the TrafficSplit).
+        self.degraded_reconciles: int = 0
+        self.last_error: str | None = None
+        # Pause support (fault injection): while paused the run loop skips
+        # reconciles entirely, modelling a stalled/partitioned operator.
+        self.paused: bool = False
 
     def add_backend(self, name: str, now: float) -> None:
         """Track a backend added to the TrafficSplit at runtime."""
@@ -110,18 +121,45 @@ class L3Controller:
         self.backends[name] = BackendMetricState(name, self.config, now)
 
     def remove_backend(self, name: str) -> None:
-        """Stop tracking a backend removed from the TrafficSplit."""
+        """Stop tracking a backend removed from the TrafficSplit.
+
+        The introspection snapshots drop the backend eagerly — a dashboard
+        reading ``last_weights`` between the removal and the next reconcile
+        must never see the ghost of a backend that no longer exists.
+        """
         if name not in self.backends:
             raise ValueError(f"unknown backend: {name}")
         if len(self.backends) == 1:
             raise ValueError("cannot remove the last backend")
         del self.backends[name]
+        self.last_weights.pop(name, None)
+        self.last_raw_weights.pop(name, None)
+
+    def pause(self) -> None:
+        """Suspend the reconcile loop (fault injection: stalled operator)."""
+        self.paused = True
+
+    def resume(self) -> None:
+        """Resume a paused reconcile loop."""
+        self.paused = False
 
     def reconcile(self, now: float) -> dict[str, int]:
-        """Run one full metrics → weights cycle and push to the sink."""
-        samples = self.metrics_source.collect(
-            list(self.backends), now, self.config.metrics_window_s,
-            self.config.percentile)
+        """Run one full metrics → weights cycle and push to the sink.
+
+        A failing metrics source or weight sink puts the reconcile in
+        degraded mode instead of propagating: the last-known-good weights
+        stay active in the data plane (the sink keeps whatever was pushed
+        last), ``degraded_reconciles`` increments, and the next reconcile
+        tries again from scratch. Internal errors (bugs) still propagate.
+        """
+        try:
+            samples = self.metrics_source.collect(
+                list(self.backends), now, self.config.metrics_window_s,
+                self.config.percentile)
+        except Interrupted:
+            raise
+        except Exception as exc:  # noqa: BLE001 - degraded mode by design
+            return self._degrade(exc)
 
         total_rps = 0.0
         for name, state in self.backends.items():
@@ -160,18 +198,32 @@ class L3Controller:
                 min_weight=self.config.weighting.min_weight)
 
         # TrafficSplit weights are non-negative integers (SMI spec); round
-        # half-up and keep at least 1 so no backend goes dark.
+        # half-up and keep at least 1 so no backend goes dark. (floor(w +
+        # 0.5), not round(): Python rounds half to even, which would turn
+        # 2.5 into 2.)
         weights = {
-            name: max(int(round(weight)), 1)
+            name: max(math.floor(weight + 0.5), 1)
             for name, weight in adjusted.items()
         }
-        self.weight_sink.set_weights(weights, now)
+        try:
+            self.weight_sink.set_weights(weights, now)
+        except Interrupted:
+            raise
+        except Exception as exc:  # noqa: BLE001 - degraded mode by design
+            return self._degrade(exc)
 
         self.last_raw_weights = raw_weights
         self.last_weights = weights
         self.last_total_rps = total_rps
         self.reconcile_count += 1
+        self.last_error = None
         return weights
+
+    def _degrade(self, exc: Exception) -> dict[str, int]:
+        """Record a failed reconcile and hold last-known-good weights."""
+        self.degraded_reconciles += 1
+        self.last_error = f"{type(exc).__name__}: {exc}"
+        return dict(self.last_weights)
 
     def _dynamic_penalties(self, now: float) -> dict | None:
         """Per-backend penalty factors from observed failure latency.
@@ -203,13 +255,12 @@ class L3Controller:
 
         Spawn with ``sim.spawn(controller.run(sim))`` to drive the loop
         inside a :class:`~repro.sim.engine.Simulator` forever (interrupt to
-        stop).
+        stop). While :attr:`paused`, ticks pass without reconciling.
         """
-        from repro.errors import Interrupted  # local: avoid cycle at import
-
         try:
             while True:
                 yield sim.timeout(self.config.reconcile_interval_s)
-                self.reconcile(sim.now)
+                if not self.paused:
+                    self.reconcile(sim.now)
         except Interrupted:
             return

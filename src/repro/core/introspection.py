@@ -23,6 +23,7 @@ INFLIGHT_EWMA = "inflight_ewma"
 RELATIVE_CHANGE = "relative_change"
 RECONCILE_COUNT = "reconcile_count"
 TOTAL_RPS_EWMA = "total_rps_ewma"
+DEGRADED_RECONCILES = "degraded_reconciles"
 
 
 class ControllerIntrospection:
@@ -68,6 +69,9 @@ class ControllerIntrospection:
         scraper.register_gauge(
             self.prefix, TOTAL_RPS_EWMA,
             lambda: controller.total_rps_ewma.value)
+        scraper.register_gauge(
+            self.prefix, DEGRADED_RECONCILES,
+            lambda: controller.degraded_reconciles)
 
     def weight_series(self, store, backend: str, start: float,
                       end: float) -> list:

@@ -1,0 +1,136 @@
+"""Fault base class and the injector that schedules faults onto a mesh.
+
+A fault is a declarative description of one disruption: *what* breaks
+(a replica, a cluster, a link, the scraper, the controller), *when*
+(``at_s``), and — for episode faults — *for how long* (``duration_s``).
+The :class:`FaultInjector` turns these descriptions into simulator
+callbacks against a concrete :class:`~repro.mesh.mesh.ServiceMesh`, so the
+same fault list can be replayed against any topology, balancer, or seed.
+
+Fault times are relative to whatever offset the caller passes to
+:meth:`FaultInjector.schedule` — the benchmark coordinator offsets them by
+its warm-up, so ``at_s=60`` means "60 seconds into the measured period".
+"""
+
+from __future__ import annotations
+
+import abc
+import typing
+
+from repro.errors import ConfigError
+
+
+class Fault(abc.ABC):
+    """One schedulable disruption.
+
+    Concrete faults are frozen dataclasses carrying ``at_s`` (start time)
+    and, where the disruption is an episode, ``duration_s`` (``None``
+    means the fault is never reverted).
+    """
+
+    at_s: float
+    duration_s: float | None = None
+
+    @abc.abstractmethod
+    def apply(self, injector: "FaultInjector") -> None:
+        """Make the disruption happen (called at the scheduled time)."""
+
+    def revert(self, injector: "FaultInjector") -> None:
+        """Undo the disruption (called at ``at_s + duration_s``)."""
+
+    def validate(self) -> None:
+        """Reject impossible schedules before anything is wired up."""
+        if self.at_s < 0:
+            raise ConfigError(f"fault start must be >= 0: {self.at_s}")
+        duration = getattr(self, "duration_s", None)
+        if duration is not None and duration <= 0:
+            raise ConfigError(f"fault duration must be positive: {duration}")
+
+
+class FaultInjector:
+    """Schedules faults against one mesh (plus its control-plane parts).
+
+    Args:
+        mesh: the target :class:`~repro.mesh.mesh.ServiceMesh`.
+        scraper: the telemetry scraper, if scrape faults are to be usable.
+        controllers: reconcile-loop controllers (anything exposing
+            ``pause()``/``resume()``), if controller faults are to be
+            usable.
+
+    Every applied/reverted fault is appended to :attr:`log` as
+    ``(sim_time, description)`` — examples and benchmarks print it to
+    correlate fault timing with observed behaviour.
+    """
+
+    def __init__(self, mesh, scraper=None, controllers: typing.Sequence = ()):
+        self.mesh = mesh
+        self.sim = mesh.sim
+        self.scraper = scraper
+        self.controllers = [c for c in controllers if c is not None]
+        self.log: list[tuple[float, str]] = []
+
+    def schedule(self, fault: Fault, offset_s: float = 0.0) -> None:
+        """Register one fault's apply (and revert) with the simulator."""
+        fault.validate()
+        start = offset_s + fault.at_s
+        if start < self.sim.now:
+            raise ConfigError(
+                f"fault start {start} is in the past (now={self.sim.now})")
+        self.sim.call_at(start, self._apply, fault)
+        duration = getattr(fault, "duration_s", None)
+        if duration is not None:
+            self.sim.call_at(start + duration, self._revert, fault)
+
+    def schedule_all(self, faults: typing.Iterable[Fault],
+                     offset_s: float = 0.0) -> None:
+        """Register every fault in ``faults``."""
+        for fault in faults:
+            self.schedule(fault, offset_s=offset_s)
+
+    def record(self, description: str) -> None:
+        """Append one line to the fault log at the current sim time."""
+        self.log.append((self.sim.now, description))
+
+    def _apply(self, fault: Fault) -> None:
+        fault.apply(self)
+        self.record(f"apply {fault}")
+
+    def _revert(self, fault: Fault) -> None:
+        fault.revert(self)
+        self.record(f"revert {fault}")
+
+    # ---------------- helpers used by concrete faults ----------------- #
+
+    def backends_in(self, cluster: str, service: str | None = None) -> list:
+        """Every backend deployed in ``cluster`` (optionally one service's).
+
+        Raises :class:`ConfigError` when the selection is empty — a fault
+        that targets nothing is a misconfigured experiment, not a no-op.
+        """
+        services = [service] if service is not None else self.mesh.services()
+        backends = []
+        for name in services:
+            deployment = self.mesh.deployment(name)
+            backend = deployment.backends.get(cluster)
+            if backend is not None:
+                backends.append(backend)
+        if not backends:
+            raise ConfigError(
+                f"no backends in cluster {cluster!r}"
+                + (f" for service {service!r}" if service else ""))
+        return backends
+
+    def require_scraper(self):
+        if self.scraper is None:
+            raise ConfigError(
+                "this fault needs a scraper; construct the FaultInjector "
+                "with scraper=...")
+        return self.scraper
+
+    def require_controllers(self) -> list:
+        if not self.controllers:
+            raise ConfigError(
+                "this fault needs controllers; construct the FaultInjector "
+                "with controllers=[...] (only controller-based balancers "
+                "such as l3/c3 have one)")
+        return self.controllers

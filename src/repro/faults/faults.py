@@ -1,0 +1,216 @@
+"""The concrete fault types (paper §5.2.3's failure injection, generalised).
+
+Every fault is a frozen dataclass; see :mod:`repro.faults.base` for the
+scheduling model. Data-plane faults (crashes, outages, link faults) need
+only the mesh; :class:`ScrapeOutage` needs the injector constructed with a
+scraper, :class:`ControllerPause` with controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.faults.base import Fault, FaultInjector
+from repro.mesh.replica import DOWN_MODES
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in DOWN_MODES:
+        raise ConfigError(f"down mode must be one of {DOWN_MODES}: {mode!r}")
+
+
+@dataclass(frozen=True)
+class ReplicaCrash(Fault):
+    """One replica goes down; its capacity is gone until a restart.
+
+    With ``duration_s`` set, the replica restarts on its own; otherwise
+    pair it with an explicit :class:`ReplicaRestart`.
+    """
+
+    service: str
+    cluster: str
+    at_s: float
+    replica_index: int = 0
+    duration_s: float | None = None
+    mode: str = "fail_fast"
+
+    def validate(self) -> None:
+        super().validate()
+        _check_mode(self.mode)
+        if self.replica_index < 0:
+            raise ConfigError(
+                f"replica index must be >= 0: {self.replica_index}")
+
+    def _replica(self, injector: FaultInjector):
+        backend = injector.mesh.deployment(self.service).backend_in(
+            self.cluster)
+        if self.replica_index >= len(backend.replicas):
+            raise ConfigError(
+                f"backend {backend.name} has {len(backend.replicas)} "
+                f"replicas; index {self.replica_index} does not exist")
+        return backend.replicas[self.replica_index]
+
+    def apply(self, injector: FaultInjector) -> None:
+        self._replica(injector).crash(self.mode)
+
+    def revert(self, injector: FaultInjector) -> None:
+        self._replica(injector).restart()
+
+
+@dataclass(frozen=True)
+class ReplicaRestart(Fault):
+    """Bring one crashed replica back up (capacity returns)."""
+
+    service: str
+    cluster: str
+    at_s: float
+    replica_index: int = 0
+
+    def validate(self) -> None:
+        super().validate()
+        if self.replica_index < 0:
+            raise ConfigError(
+                f"replica index must be >= 0: {self.replica_index}")
+
+    def apply(self, injector: FaultInjector) -> None:
+        backend = injector.mesh.deployment(self.service).backend_in(
+            self.cluster)
+        if self.replica_index >= len(backend.replicas):
+            raise ConfigError(
+                f"backend {backend.name} has {len(backend.replicas)} "
+                f"replicas; index {self.replica_index} does not exist")
+        backend.replicas[self.replica_index].restart()
+
+
+@dataclass(frozen=True)
+class ClusterOutage(Fault):
+    """Every replica of a cluster goes down (the paper's failing cluster).
+
+    ``mode="fail_fast"`` models a cluster answering errors (the scenario
+    traces' success-rate drops); ``mode="blackhole"`` models the harder
+    case — nothing answers at all, and only a client-side timeout turns
+    the silence into a signal L3 can see.
+
+    Args:
+        cluster: the failing cluster.
+        service: restrict the outage to one service's backend there
+            (``None`` takes down every service's deployment).
+    """
+
+    cluster: str
+    at_s: float
+    duration_s: float | None = None
+    mode: str = "fail_fast"
+    service: str | None = None
+
+    def validate(self) -> None:
+        super().validate()
+        _check_mode(self.mode)
+
+    def apply(self, injector: FaultInjector) -> None:
+        for backend in injector.backends_in(self.cluster, self.service):
+            backend.crash(self.mode)
+
+    def revert(self, injector: FaultInjector) -> None:
+        for backend in injector.backends_in(self.cluster, self.service):
+            backend.restart()
+
+
+@dataclass(frozen=True)
+class LinkPartition(Fault):
+    """A directed cluster pair drops all traffic (delay becomes infinite).
+
+    In-flight requests on the link at partition time keep their already
+    sampled delays; requests *entering* the link while partitioned hang
+    until the client's deadline fires (or forever without one) — healing
+    the partition does not resurrect connections it killed.
+    """
+
+    src: str
+    dst: str
+    at_s: float
+    duration_s: float | None = None
+    symmetric: bool = True
+
+    def apply(self, injector: FaultInjector) -> None:
+        injector.mesh.network.partition(
+            self.src, self.dst, symmetric=self.symmetric)
+
+    def revert(self, injector: FaultInjector) -> None:
+        injector.mesh.network.heal_partition(
+            self.src, self.dst, symmetric=self.symmetric)
+
+
+@dataclass(frozen=True)
+class LinkDegradation(Fault):
+    """A cluster pair's delay is inflated: ``delay * multiplier + extra``."""
+
+    src: str
+    dst: str
+    at_s: float
+    duration_s: float | None = None
+    multiplier: float = 1.0
+    extra_delay_s: float = 0.0
+    symmetric: bool = True
+
+    def validate(self) -> None:
+        super().validate()
+        if self.multiplier < 1.0:
+            raise ConfigError(
+                f"degradation multiplier must be >= 1: {self.multiplier}")
+        if self.extra_delay_s < 0:
+            raise ConfigError(
+                f"extra delay must be >= 0: {self.extra_delay_s}")
+        if self.multiplier == 1.0 and self.extra_delay_s == 0.0:
+            raise ConfigError(
+                "degradation needs a multiplier > 1 or extra delay > 0")
+
+    def apply(self, injector: FaultInjector) -> None:
+        injector.mesh.network.degrade(
+            self.src, self.dst, multiplier=self.multiplier,
+            extra_delay_s=self.extra_delay_s, symmetric=self.symmetric)
+
+    def revert(self, injector: FaultInjector) -> None:
+        injector.mesh.network.heal_degradation(
+            self.src, self.dst, symmetric=self.symmetric)
+
+
+@dataclass(frozen=True)
+class ScrapeOutage(Fault):
+    """The telemetry scraper stops collecting (Prometheus outage).
+
+    The metrics store receives no new samples, so the controller's
+    windowed queries come back empty and its EWMAs decay toward their
+    defaults (§4's no-traffic behaviour, exercised for *every* backend at
+    once).
+    """
+
+    at_s: float
+    duration_s: float | None = None
+
+    def apply(self, injector: FaultInjector) -> None:
+        injector.require_scraper().pause()
+
+    def revert(self, injector: FaultInjector) -> None:
+        injector.require_scraper().resume()
+
+
+@dataclass(frozen=True)
+class ControllerPause(Fault):
+    """The reconcile loop stalls (operator crash-loop / leader loss).
+
+    Weights freeze at their last pushed values; the data plane keeps
+    serving with a stale TrafficSplit until the controller resumes.
+    """
+
+    at_s: float
+    duration_s: float | None = None
+
+    def apply(self, injector: FaultInjector) -> None:
+        for controller in injector.require_controllers():
+            controller.pause()
+
+    def revert(self, injector: FaultInjector) -> None:
+        for controller in injector.require_controllers():
+            controller.resume()

@@ -1,0 +1,159 @@
+"""Parse compact fault specifications (the CLI's ``--faults`` flag).
+
+Grammar (whitespace around separators is ignored)::
+
+    spec     := entry (";" entry)*
+    entry    := kind "@" start ["+" duration] (":" key "=" value)*
+    start    := seconds (relative to the measured period)
+    duration := seconds
+
+Examples::
+
+    cluster-outage@60+30:cluster=cluster-2:mode=blackhole
+    replica-crash@10+40:service=api:cluster=cluster-1:index=2
+    link-partition@30+20:src=cluster-1:dst=cluster-2
+    link-degradation@30+60:src=cluster-1:dst=cluster-3:multiplier=5
+    scrape-outage@40+25
+    controller-pause@50+15
+    cluster-outage@60+30:cluster=cluster-2 ; scrape-outage@90+10
+
+Each kind maps onto the dataclass of the same name in
+:mod:`repro.faults.faults`; keys map onto its remaining fields.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import ConfigError
+from repro.faults.base import Fault
+from repro.faults.faults import (
+    ClusterOutage,
+    ControllerPause,
+    LinkDegradation,
+    LinkPartition,
+    ReplicaCrash,
+    ReplicaRestart,
+    ScrapeOutage,
+)
+
+# kind -> (fault class, {spec key -> constructor kwarg}, required keys)
+_KINDS: dict[str, tuple[type, dict[str, str], tuple[str, ...]]] = {
+    "replica-crash": (
+        ReplicaCrash,
+        {"service": "service", "cluster": "cluster",
+         "index": "replica_index", "mode": "mode"},
+        ("service", "cluster")),
+    "replica-restart": (
+        ReplicaRestart,
+        {"service": "service", "cluster": "cluster",
+         "index": "replica_index"},
+        ("service", "cluster")),
+    "cluster-outage": (
+        ClusterOutage,
+        {"cluster": "cluster", "mode": "mode", "service": "service"},
+        ("cluster",)),
+    "link-partition": (
+        LinkPartition,
+        {"src": "src", "dst": "dst", "symmetric": "symmetric"},
+        ("src", "dst")),
+    "link-degradation": (
+        LinkDegradation,
+        {"src": "src", "dst": "dst", "multiplier": "multiplier",
+         "extra": "extra_delay_s", "symmetric": "symmetric"},
+        ("src", "dst")),
+    "scrape-outage": (ScrapeOutage, {}, ()),
+    "controller-pause": (ControllerPause, {}, ()),
+}
+
+FAULT_KINDS = tuple(sorted(_KINDS))
+
+_INT_KWARGS = ("replica_index",)
+_FLOAT_KWARGS = ("multiplier", "extra_delay_s")
+_BOOL_KWARGS = ("symmetric",)
+
+
+def _coerce(kwarg: str, value: str):
+    try:
+        if kwarg in _INT_KWARGS:
+            return int(value)
+        if kwarg in _FLOAT_KWARGS:
+            return float(value)
+    except ValueError:
+        raise ConfigError(
+            f"fault spec: {kwarg} needs a number, got {value!r}") from None
+    if kwarg in _BOOL_KWARGS:
+        lowered = value.lower()
+        if lowered in ("true", "yes", "1"):
+            return True
+        if lowered in ("false", "no", "0"):
+            return False
+        raise ConfigError(
+            f"fault spec: {kwarg} needs a boolean, got {value!r}")
+    return value
+
+
+def _parse_seconds(text: str, what: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigError(
+            f"fault spec: {what} needs seconds, got {text!r}") from None
+
+
+def parse_fault_entry(entry: str) -> Fault:
+    """Parse one ``kind@start[+duration][:key=value...]`` entry."""
+    entry = entry.strip()
+    if not entry:
+        raise ConfigError("fault spec: empty entry")
+    head, _, params = entry.partition(":")
+    kind, at, timing = head.partition("@")
+    kind = kind.strip()
+    if kind not in _KINDS:
+        raise ConfigError(
+            f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}")
+    if not at:
+        raise ConfigError(
+            f"fault spec: {kind} needs a start time ('{kind}@SECONDS')")
+    cls, key_map, required = _KINDS[kind]
+
+    timing, plus, duration_text = timing.partition("+")
+    kwargs: dict[str, typing.Any] = {
+        "at_s": _parse_seconds(timing.strip(), f"{kind} start")}
+    if plus:
+        kwargs["duration_s"] = _parse_seconds(
+            duration_text.strip(), f"{kind} duration")
+
+    seen = set()
+    if params:
+        for pair in params.split(":"):
+            key, eq, value = pair.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise ConfigError(
+                    f"fault spec: expected key=value, got {pair.strip()!r}")
+            kwarg = key_map.get(key)
+            if kwarg is None:
+                raise ConfigError(
+                    f"fault spec: {kind} does not take {key!r}; "
+                    f"accepted keys: {tuple(sorted(key_map)) or '(none)'}")
+            if key in seen:
+                raise ConfigError(f"fault spec: duplicate key {key!r}")
+            seen.add(key)
+            kwargs[kwarg] = _coerce(kwarg, value.strip())
+    missing = [key for key in required if key not in seen]
+    if missing:
+        raise ConfigError(
+            f"fault spec: {kind} needs {', '.join(repr(m) for m in missing)}")
+
+    fault = cls(**kwargs)
+    fault.validate()
+    return fault
+
+
+def parse_fault_spec(spec: str) -> list[Fault]:
+    """Parse a full ``;``-separated fault specification string."""
+    entries = [entry for entry in spec.split(";") if entry.strip()]
+    if not entries:
+        raise ConfigError(f"fault spec is empty: {spec!r}")
+    return [parse_fault_entry(entry) for entry in entries]

@@ -1,0 +1,158 @@
+"""Consecutive-failure outlier ejection (circuit breaking) for the proxy.
+
+Models Envoy/Linkerd-style passive health checking on the client sidecar:
+a backend that fails ``consecutive_failures`` requests in a row is ejected
+from the proxy's pick set for ``ejection_s`` seconds. When the ejection
+expires the breaker goes *half-open*: exactly one probe request is let
+through — success closes the breaker, failure re-ejects with exponential
+backoff. Ejection is **off by default** everywhere: the paper's evaluated
+system relies purely on L3's success-rate signal (§3.1), and enabling a
+second, faster feedback loop changes the measured dynamics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+_CLOSED, _OPEN, _HALF_OPEN = "closed", "open", "half_open"
+
+
+@dataclass(frozen=True)
+class OutlierEjectionConfig:
+    """Tunables of the per-backend circuit breaker.
+
+    Attributes:
+        consecutive_failures: failures in a row that trip the breaker.
+        ejection_s: first ejection duration.
+        backoff_multiplier: ejection duration growth on repeated trips.
+        max_ejection_s: ejection duration ceiling.
+    """
+
+    consecutive_failures: int = 5
+    ejection_s: float = 10.0
+    backoff_multiplier: float = 2.0
+    max_ejection_s: float = 60.0
+
+    def __post_init__(self):
+        if self.consecutive_failures < 1:
+            raise ConfigError(
+                "consecutive failures must be >= 1: "
+                f"{self.consecutive_failures}")
+        if self.ejection_s <= 0:
+            raise ConfigError(
+                f"ejection duration must be positive: {self.ejection_s}")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError(
+                f"backoff multiplier must be >= 1: {self.backoff_multiplier}")
+        if self.max_ejection_s < self.ejection_s:
+            raise ConfigError(
+                "max ejection must be >= the base ejection: "
+                f"{self.max_ejection_s} < {self.ejection_s}")
+
+
+class _BreakerState:
+    """One backend's breaker: closed / open / half-open."""
+
+    __slots__ = ("state", "failures", "ejected_until", "next_ejection_s",
+                 "probe_inflight")
+
+    def __init__(self, first_ejection_s: float):
+        self.state = _CLOSED
+        self.failures = 0
+        self.ejected_until = -math.inf
+        self.next_ejection_s = first_ejection_s
+        self.probe_inflight = False
+
+
+class OutlierEjector:
+    """Tracks per-backend breakers for one client proxy.
+
+    The proxy calls :meth:`admit` before sending (which may consume the
+    half-open probe slot) and :meth:`on_response` on every completion.
+    """
+
+    def __init__(self, backend_names, config: OutlierEjectionConfig):
+        self.config = config
+        self._breakers = {
+            name: _BreakerState(config.ejection_s) for name in backend_names
+        }
+        self.ejections = 0
+
+    def _breaker(self, name: str) -> _BreakerState:
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = _BreakerState(self.config.ejection_s)
+            self._breakers[name] = breaker
+        return breaker
+
+    def is_ejected(self, name: str, now: float) -> bool:
+        """Whether the backend is currently out of the pick set."""
+        breaker = self._breaker(name)
+        if breaker.state != _OPEN:
+            return False
+        return now < breaker.ejected_until or breaker.probe_inflight
+
+    def admit(self, name: str, now: float) -> bool:
+        """Whether a request may be sent to ``name`` right now.
+
+        Mutating: when an expired ejection is first probed, this consumes
+        the single half-open probe slot — callers must actually send the
+        request when admitted.
+        """
+        breaker = self._breaker(name)
+        if breaker.state == _CLOSED:
+            return True
+        if breaker.state == _OPEN:
+            if now < breaker.ejected_until or breaker.probe_inflight:
+                return False
+            breaker.state = _HALF_OPEN
+            breaker.probe_inflight = True
+            return True
+        # Half-open: only the in-flight probe is allowed.
+        if breaker.probe_inflight:
+            return False
+        breaker.probe_inflight = True
+        return True
+
+    def on_response(self, name: str, now: float, success: bool) -> None:
+        """Feed one completed request into the backend's breaker."""
+        breaker = self._breaker(name)
+        if breaker.state == _HALF_OPEN:
+            breaker.probe_inflight = False
+            if success:
+                self._close(breaker)
+            else:
+                self._trip(breaker, now, backoff=True)
+            return
+        if breaker.state == _OPEN:
+            # A response from before the ejection; the verdict is in.
+            return
+        if success:
+            breaker.failures = 0
+            return
+        breaker.failures += 1
+        if breaker.failures >= self.config.consecutive_failures:
+            self._trip(breaker, now, backoff=False)
+
+    def _trip(self, breaker: _BreakerState, now: float,
+              backoff: bool) -> None:
+        if backoff:
+            # A failed half-open probe: the backend is still bad, so the
+            # *this* ejection is already longer than the previous one.
+            breaker.next_ejection_s = min(
+                breaker.next_ejection_s * self.config.backoff_multiplier,
+                self.config.max_ejection_s)
+        breaker.state = _OPEN
+        breaker.probe_inflight = False
+        breaker.failures = 0
+        breaker.ejected_until = now + breaker.next_ejection_s
+        self.ejections += 1
+
+    def _close(self, breaker: _BreakerState) -> None:
+        breaker.state = _CLOSED
+        breaker.failures = 0
+        breaker.ejected_until = -math.inf
+        breaker.next_ejection_s = self.config.ejection_s

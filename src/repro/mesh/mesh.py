@@ -87,15 +87,25 @@ class ServiceMesh:
                      balancer: Balancer,
                      forward_overhead_s: float = 0.0002,
                      max_retries: int = 0,
-                     retry_backoff_s: float = 0.0) -> ClientProxy:
-        """Create the sidecar proxy routing ``service`` traffic from a cluster."""
+                     retry_backoff_s: float = 0.0,
+                     request_timeout_s: float | None = None,
+                     outlier_ejection=None) -> ClientProxy:
+        """Create the sidecar proxy routing ``service`` traffic from a cluster.
+
+        ``request_timeout_s`` and ``outlier_ejection`` (an
+        :class:`~repro.mesh.ejection.OutlierEjectionConfig`) enable the
+        proxy's resilience features; both default to off, matching the
+        paper's evaluated configuration.
+        """
         if source_cluster not in self.clusters:
             raise MeshError(f"unknown cluster: {source_cluster!r}")
         proxy = ClientProxy(
             self, source_cluster, service, balancer,
             self.rng.stream(f"proxy/{source_cluster}/{service}"),
             forward_overhead_s=forward_overhead_s,
-            max_retries=max_retries, retry_backoff_s=retry_backoff_s)
+            max_retries=max_retries, retry_backoff_s=retry_backoff_s,
+            request_timeout_s=request_timeout_s,
+            outlier_ejection=outlier_ejection)
         self._proxies.append(proxy)
         return proxy
 

@@ -78,7 +78,14 @@ LOCAL_LINK = WanLink(base_delay_s=0.0002, jitter_p99_ratio=2.0,
 
 
 class NetworkModel:
-    """All pairwise delays of the multi-cluster topology."""
+    """All pairwise delays of the multi-cluster topology.
+
+    Besides the static link models, the network carries a *fault overlay*
+    (driven by :mod:`repro.faults`): a directed pair can be partitioned —
+    :meth:`delay` returns ``inf``, which the proxy treats as a blackhole —
+    or degraded, multiplying and/or padding the sampled delay for the
+    duration of the episode.
+    """
 
     def __init__(self, clusters, default_wan: WanLink | None = None,
                  local_link: WanLink = LOCAL_LINK):
@@ -97,6 +104,9 @@ class NetworkModel:
             default_wan = WanLink(base_delay_s=0.010)
         self.clusters = names
         self._links: dict[tuple[str, str], WanLink] = {}
+        self._partitions: set[tuple[str, str]] = set()
+        # (src, dst) -> (delay multiplier, extra delay seconds)
+        self._degradations: dict[tuple[str, str], tuple[float, float]] = {}
         for src in names:
             for dst in names:
                 self._links[(src, dst)] = (
@@ -116,8 +126,66 @@ class NetworkModel:
         return self._links[(src, dst)]
 
     def delay(self, src: str, dst: str, rng, now: float) -> float:
-        """Sample the one-way delay from ``src`` to ``dst`` at ``now``."""
-        return self.link(src, dst).delay(rng, now)
+        """Sample the one-way delay from ``src`` to ``dst`` at ``now``.
+
+        Returns ``inf`` while the directed pair is partitioned (packets
+        never arrive — callers must treat an infinite delay as a blackhole,
+        not something to sleep through).
+        """
+        if (src, dst) in self._partitions:
+            self._require(src), self._require(dst)
+            return math.inf
+        delay = self.link(src, dst).delay(rng, now)
+        degradation = self._degradations.get((src, dst))
+        if degradation is not None:
+            multiplier, extra_s = degradation
+            delay = delay * multiplier + extra_s
+        return delay
+
+    # ------------------------------------------------------------------ #
+    # Fault overlay (driven by repro.faults)
+    # ------------------------------------------------------------------ #
+
+    def partition(self, src: str, dst: str, symmetric: bool = True) -> None:
+        """Drop all traffic from ``src`` to ``dst`` until healed."""
+        self._require(src), self._require(dst)
+        self._partitions.add((src, dst))
+        if symmetric:
+            self._partitions.add((dst, src))
+
+    def heal_partition(self, src: str, dst: str,
+                       symmetric: bool = True) -> None:
+        """Remove a partition (missing partitions are forgiven)."""
+        self._require(src), self._require(dst)
+        self._partitions.discard((src, dst))
+        if symmetric:
+            self._partitions.discard((dst, src))
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        """Whether traffic from ``src`` to ``dst`` is currently dropped."""
+        return (src, dst) in self._partitions
+
+    def degrade(self, src: str, dst: str, multiplier: float = 1.0,
+                extra_delay_s: float = 0.0, symmetric: bool = True) -> None:
+        """Inflate the pair's delay: ``delay * multiplier + extra_delay_s``."""
+        if multiplier < 1.0:
+            raise ConfigError(
+                f"degradation multiplier must be >= 1: {multiplier}")
+        if extra_delay_s < 0:
+            raise ConfigError(
+                f"degradation extra delay must be >= 0: {extra_delay_s}")
+        self._require(src), self._require(dst)
+        self._degradations[(src, dst)] = (multiplier, extra_delay_s)
+        if symmetric:
+            self._degradations[(dst, src)] = (multiplier, extra_delay_s)
+
+    def heal_degradation(self, src: str, dst: str,
+                         symmetric: bool = True) -> None:
+        """Remove a degradation (missing degradations are forgiven)."""
+        self._require(src), self._require(dst)
+        self._degradations.pop((src, dst), None)
+        if symmetric:
+            self._degradations.pop((dst, src), None)
 
     def _require(self, name: str) -> None:
         if name not in self.clusters:

@@ -7,15 +7,27 @@ the network to the chosen backend's cluster, (4) waits for the replica, and
 (5) records data-plane telemetry on completion — exactly the vantage point
 from which L3's metrics are collected (latency as perceived by the
 *client-side* proxy, including WAN and queueing).
+
+Resilience knobs (both off by default, preserving the paper's evaluated
+configuration):
+
+* ``request_timeout_s`` — a per-attempt deadline. Without it, a blackholed
+  backend (crashed pod, network partition) hangs the request forever; with
+  it, the attempt is abandoned at the deadline and recorded as a *failed*
+  attempt in telemetry, so L3's success-rate signal sees the outage.
+* ``outlier_ejection`` — consecutive-failure circuit breaking with
+  half-open probing (see :mod:`repro.mesh.ejection`).
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 
 from repro.balancers.base import Balancer
 from repro.errors import MeshError
 from repro.mesh.cluster import split_backend_name
+from repro.mesh.ejection import OutlierEjectionConfig, OutlierEjector
 from repro.mesh.request import RequestRecord
 from repro.telemetry.metrics import BackendTelemetry
 
@@ -26,7 +38,9 @@ class ClientProxy:
     def __init__(self, mesh, source_cluster: str, service: str,
                  balancer: Balancer, rng,
                  forward_overhead_s: float = 0.0002,
-                 max_retries: int = 0, retry_backoff_s: float = 0.0):
+                 max_retries: int = 0, retry_backoff_s: float = 0.0,
+                 request_timeout_s: float | None = None,
+                 outlier_ejection: OutlierEjectionConfig | None = None):
         """Args:
             mesh: the owning :class:`~repro.mesh.mesh.ServiceMesh`.
             source_cluster: cluster this proxy lives in.
@@ -38,11 +52,18 @@ class ClientProxy:
                 the paper's benchmarks, which do not retry — §5.2.1; the
                 retry model is what Eq. 3's penalty factor assumes).
             retry_backoff_s: fixed delay before each retry attempt.
+            request_timeout_s: per-attempt deadline; ``None`` (the paper's
+                setup) waits forever.
+            outlier_ejection: circuit-breaker tunables; ``None`` (the
+                paper's setup) disables ejection.
         """
         if max_retries < 0:
             raise MeshError(f"max retries must be >= 0: {max_retries}")
         if retry_backoff_s < 0:
             raise MeshError(f"retry backoff must be >= 0: {retry_backoff_s}")
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise MeshError(
+                f"request timeout must be positive: {request_timeout_s}")
         self.mesh = mesh
         self.source_cluster = source_cluster
         self.service = service
@@ -51,6 +72,8 @@ class ClientProxy:
         self.forward_overhead_s = forward_overhead_s
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
+        self.request_timeout_s = request_timeout_s
+        self.timeouts = 0
         self._request_ids = itertools.count()
         deployment = mesh.deployment(service)
         # Telemetry is scoped by source cluster: each cluster's controller
@@ -61,6 +84,10 @@ class ClientProxy:
                 name, scrape_name=f"{source_cluster}|{name}")
             for name in deployment.backend_names()
         }
+        self.ejector: OutlierEjector | None = None
+        if outlier_ejection is not None:
+            self.ejector = OutlierEjector(
+                list(self.telemetry), outlier_ejection)
 
     def dispatch(self, intended_start_s: float | None = None,
                  body_factory=None):
@@ -113,7 +140,7 @@ class ClientProxy:
         """
         sim = self.mesh.sim
         start = sim.now
-        backend_name = self.balancer.pick(self.rng, start)
+        backend_name = self._pick_backend(start)
         telemetry = self.telemetry.get(backend_name)
         if telemetry is None:
             raise MeshError(
@@ -127,8 +154,51 @@ class ClientProxy:
 
         if self.forward_overhead_s > 0:
             yield sim.timeout(self.forward_overhead_s)
+
+        if self.request_timeout_s is None:
+            success = yield from self._forward(
+                backend, target_cluster, body_factory)
+        else:
+            success = yield from self._forward_with_deadline(
+                backend, backend_name, target_cluster, body_factory, start)
+
+        latency = sim.now - start
+        telemetry.on_response(latency, success)
+        self.balancer.on_response(backend_name, sim.now, latency, success)
+        if self.ejector is not None:
+            self.ejector.on_response(backend_name, sim.now, success)
+        return success, backend_name
+
+    def _pick_backend(self, now: float) -> str:
+        """Balancer pick, filtered through the outlier ejector if enabled.
+
+        When the pick is ejected the balancer is asked again a bounded
+        number of times; if every draw is ejected the proxy *fails open*
+        and sends anyway — blackholing all traffic on the say-so of a local
+        breaker would be worse than probing a possibly-dead backend.
+        """
+        backend_name = self.balancer.pick(self.rng, now)
+        if self.ejector is None or self.ejector.admit(backend_name, now):
+            return backend_name
+        for _ in range(3 * len(self.telemetry)):
+            candidate = self.balancer.pick(self.rng, now)
+            if self.ejector.admit(candidate, now):
+                return candidate
+        return backend_name
+
+    def _forward(self, backend, target_cluster: str, body_factory):
+        """The remote leg: network out, replica, network back.
+
+        An infinite network delay (partition) parks the request on a
+        never-firing event — without a deadline the caller hangs, which is
+        exactly what a blackholed TCP connection does.
+        """
+        sim = self.mesh.sim
         outbound = self.mesh.network.delay(
             self.source_cluster, target_cluster, self.rng, sim.now)
+        if math.isinf(outbound):
+            yield sim.event()
+            return False  # pragma: no cover - the event never fires
         if outbound > 0:
             yield sim.timeout(outbound)
 
@@ -137,10 +207,36 @@ class ClientProxy:
 
         inbound = self.mesh.network.delay(
             target_cluster, self.source_cluster, self.rng, sim.now)
+        if math.isinf(inbound):
+            yield sim.event()
+            return False  # pragma: no cover - the event never fires
         if inbound > 0:
             yield sim.timeout(inbound)
+        return success
 
-        latency = sim.now - start
-        telemetry.on_response(latency, success)
-        self.balancer.on_response(backend_name, sim.now, latency, success)
-        return success, backend_name
+    def _forward_with_deadline(self, backend, backend_name: str,
+                               target_cluster: str, body_factory,
+                               start: float):
+        """Race the remote leg against the per-attempt deadline.
+
+        On timeout the in-flight call is abandoned, not cancelled: whatever
+        the server was doing keeps happening (and keeps occupying the
+        replica), but this client stops waiting — the attempt is a failure.
+        """
+        sim = self.mesh.sim
+        remaining = self.request_timeout_s - (sim.now - start)
+        if remaining <= 0:
+            self.timeouts += 1
+            return False
+        call = sim.spawn(
+            self._forward(backend, target_cluster, body_factory),
+            name=f"fwd/{backend_name}")
+        deadline = sim.timeout(remaining)
+        yield sim.any_of([call, deadline])
+        if call.processed and call.ok:
+            return bool(call.value)
+        # The deadline won; the abandoned call's eventual failure (if any)
+        # must not abort the run.
+        call.defused = True
+        self.timeouts += 1
+        return False

@@ -6,6 +6,11 @@ requests concurrently and queues the rest (FIFO), so a backend that
 receives more traffic than it can absorb develops queueing delay — the
 effect both Algorithm 1's in-flight term and Algorithm 2's rate controller
 exist to manage.
+
+Replicas can also *crash* (fault injection): a down replica either fails
+requests fast (a connection refused / 503 from the platform) or blackholes
+them (the pod vanished mid-connection and nothing answers), and restores on
+:meth:`Replica.restart`.
 """
 
 from __future__ import annotations
@@ -14,6 +19,9 @@ from repro.errors import ConfigError
 from repro.sim.engine import Simulator
 from repro.sim.resources import Server
 from repro.workloads.profiles import BackendProfile
+
+# What a down replica does with the requests that still reach it.
+DOWN_MODES = ("fail_fast", "blackhole")
 
 
 class Replica:
@@ -37,11 +45,42 @@ class Replica:
         self.server = Server(sim, capacity)
         self.completed = 0
         self.failed = 0
+        self.up = True
+        self.down_mode = "fail_fast"
+        # Requests hung on a blackholed replica; released (as failures)
+        # when the replica restarts.
+        self._blackhole_gates: list = []
 
     @property
     def inflight(self) -> int:
         """Requests currently executing or queued on this replica."""
         return self.server.in_use + self.server.queue_len
+
+    def crash(self, mode: str = "fail_fast") -> None:
+        """Take the replica down.
+
+        Args:
+            mode: ``"fail_fast"`` — requests fail after the profile's
+                failure latency (connection refused); ``"blackhole"`` —
+                requests hang until the replica restarts (or, without a
+                client-side timeout, forever).
+        """
+        if mode not in DOWN_MODES:
+            raise ConfigError(
+                f"down mode must be one of {DOWN_MODES}: {mode!r}")
+        self.up = False
+        self.down_mode = mode
+
+    def restart(self) -> None:
+        """Bring the replica back up.
+
+        Requests hung on the blackhole die now (their connection was to the
+        old pod) — they resume immediately as failures, freeing the client.
+        """
+        self.up = True
+        gates, self._blackhole_gates = self._blackhole_gates, []
+        for gate in gates:
+            gate.succeed()
 
     def handle(self, body=None):
         """Process one request; yields until done, returns success bool.
@@ -58,8 +97,17 @@ class Replica:
                 applications to invoke downstream services. Its boolean
                 return value is ANDed into the request's success.
         """
+        if not self.up:
+            yield from self._handle_down()
+            return False
         yield self.server.acquire()
         try:
+            if not self.up:
+                # Crashed while this request sat in the queue: the queued
+                # connections die with the pod (the slot is held meanwhile,
+                # as a hung worker would hold it).
+                yield from self._handle_down()
+                return False
             now = self.sim.now
             if self.profile.sample_failure(self.rng, now):
                 yield self.sim.timeout(self.profile.failure_latency_s)
@@ -78,3 +126,20 @@ class Replica:
             return success
         finally:
             self.server.release()
+
+    def _handle_down(self):
+        """One request against a down replica; always ends in failure.
+
+        Fail-fast mode answers with the profile's failure latency (an error
+        response is still a response); blackhole mode parks the request on
+        a gate that fires only at restart — without a client-side timeout
+        the caller hangs for as long as the replica stays down.
+        """
+        if self.down_mode == "blackhole":
+            gate = self.sim.event()
+            self._blackhole_gates.append(gate)
+            yield gate
+        else:
+            yield self.sim.timeout(self.profile.failure_latency_s)
+        self.failed += 1
+        return True

@@ -54,10 +54,37 @@ class Backend:
         self.replicas.pop()
 
     def pick_replica(self) -> Replica:
-        """In-cluster round-robin replica choice."""
-        replica = self.replicas[self._rr_index % len(self.replicas)]
+        """In-cluster round-robin replica choice.
+
+        Down replicas are skipped while any replica is up — the platform's
+        readiness probes pull crashed pods out of the endpoint set. During
+        a full outage every endpoint is dead and the request hits a down
+        replica (failing fast or blackholing per its crash mode).
+        """
+        count = len(self.replicas)
+        for _ in range(count):
+            replica = self.replicas[self._rr_index % count]
+            self._rr_index += 1
+            if replica.up:
+                return replica
+        replica = self.replicas[self._rr_index % count]
         self._rr_index += 1
         return replica
+
+    def crash(self, mode: str = "fail_fast") -> None:
+        """Take every replica of this backend down (cluster outage)."""
+        for replica in self.replicas:
+            replica.crash(mode)
+
+    def restart(self) -> None:
+        """Bring every replica of this backend back up."""
+        for replica in self.replicas:
+            replica.restart()
+
+    @property
+    def up_replica_count(self) -> int:
+        """Number of replicas currently up."""
+        return sum(1 for replica in self.replicas if replica.up)
 
     @property
     def inflight(self) -> int:

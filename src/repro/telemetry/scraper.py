@@ -32,6 +32,11 @@ class Scraper:
         self.interval_s = interval_s
         self._targets: dict[str, BackendTelemetry] = {}
         self._gauges: list[tuple[str, str, object]] = []
+        # Fault injection: a paused scraper skips its ticks entirely, so
+        # the store receives no new samples and windowed queries go empty —
+        # the controller's decay-toward-default path.
+        self.paused = False
+        self.skipped_scrapes = 0
 
     def register(self, telemetry: BackendTelemetry) -> None:
         """Add a proxy's per-backend telemetry bundle as a scrape target."""
@@ -74,11 +79,26 @@ class Scraper:
         for series_name, metric, read in self._gauges:
             self.store.series(series_name, metric).append(now, float(read()))
 
+    def pause(self) -> None:
+        """Suspend scraping (fault injection: Prometheus outage)."""
+        self.paused = True
+
+    def resume(self) -> None:
+        """Resume a paused scrape loop."""
+        self.paused = False
+
     def run(self, sim):
-        """Generator process: scrape every ``interval_s`` until interrupted."""
+        """Generator process: scrape every ``interval_s`` until interrupted.
+
+        While :attr:`paused`, ticks pass without scraping (counted in
+        :attr:`skipped_scrapes`).
+        """
         try:
             while True:
                 yield sim.timeout(self.interval_s)
-                self.scrape_once(sim.now)
+                if self.paused:
+                    self.skipped_scrapes += 1
+                else:
+                    self.scrape_once(sim.now)
         except Interrupted:
             return

@@ -64,6 +64,12 @@ class Scenario:
         cluster_profiles: cluster name → backend behaviour profile.
         rps: offered load series of the benchmark client.
         description: one-line summary of the published shape.
+        faults: :class:`~repro.faults.base.Fault` list injected when the
+            scenario runs through the benchmark coordinator; fault times
+            are relative to the measured period. The built-in paper
+            scenarios carry none (their failures live in the profiles'
+            success-rate traces); custom resilience scenarios attach real
+            faults here.
     """
 
     name: str
@@ -71,6 +77,7 @@ class Scenario:
     cluster_profiles: dict[str, BackendProfile]
     rps: PiecewiseSeries
     description: str = ""
+    faults: list = field(default_factory=list)
 
     def clusters(self) -> list[str]:
         return sorted(self.cluster_profiles)

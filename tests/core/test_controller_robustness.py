@@ -1,0 +1,233 @@
+"""Controller hardening: degraded mode, pause, rounding, stale decay."""
+
+import pytest
+
+import repro.core.controller as controller_module
+from repro.core.config import L3Config
+from repro.core.controller import L3Controller, MetricSample
+from repro.core.introspection import (
+    DEGRADED_RECONCILES,
+    ControllerIntrospection,
+)
+from repro.errors import Interrupted
+from repro.telemetry.scraper import Scraper
+from repro.telemetry.timeseries import TimeSeriesStore
+
+SAMPLES = {
+    "a": MetricSample(0.05, 1.0, 100.0, 1.0),
+    "b": MetricSample(0.10, 1.0, 100.0, 1.0),
+}
+
+
+class FlakySource:
+    """Raises for the first ``failures`` collects, then serves samples."""
+
+    def __init__(self, failures=0, exc_factory=None):
+        self.failures = failures
+        self.exc_factory = exc_factory or (
+            lambda: ConnectionError("prometheus is down"))
+        self.calls = 0
+
+    def collect(self, backend_names, now, window_s, percentile):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc_factory()
+        return {name: SAMPLES.get(name) for name in backend_names}
+
+
+class FlakySink:
+    def __init__(self, failures=0):
+        self.failures = failures
+        self.writes = []
+
+    def set_weights(self, weights, now):
+        if len(self.writes) < self.failures:
+            self.writes.append(None)
+            raise RuntimeError("API server rejected the TrafficSplit")
+        self.writes.append((now, dict(weights)))
+
+
+def make_controller(source, sink, **config_kwargs):
+    return L3Controller(["a", "b"], source, sink, L3Config(**config_kwargs))
+
+
+class TestDegradedMode:
+    def test_source_outage_holds_last_known_good_weights(self):
+        source = FlakySource(failures=3)
+        sink = FlakySink()
+        controller = make_controller(source, sink)
+        # One healthy reconcile establishes known-good weights.
+        source.failures = 0
+        good = controller.reconcile(5.0)
+        assert controller.degraded_reconciles == 0
+        # The source starts raising: every reconcile returns the held
+        # weights, counts as degraded, and records the error.
+        source.calls = 0
+        source.failures = 3
+        for i, t in enumerate((10.0, 15.0, 20.0), start=1):
+            held = controller.reconcile(t)
+            assert held == good
+            assert controller.degraded_reconciles == i
+            assert "ConnectionError" in controller.last_error
+        assert controller.last_weights == good
+        # Nothing new reached the sink during the outage.
+        assert len(sink.writes) == 1
+        # Recovery: the loop resumes where it left off.
+        recovered = controller.reconcile(25.0)
+        assert controller.last_error is None
+        assert controller.reconcile_count == 2
+        assert len(sink.writes) == 2
+        assert recovered == controller.last_weights
+
+    def test_sink_outage_degrades(self):
+        source = FlakySource()
+        sink = FlakySink(failures=1)
+        controller = make_controller(source, sink)
+        controller.reconcile(5.0)
+        assert controller.degraded_reconciles == 1
+        assert "RuntimeError" in controller.last_error
+        assert controller.last_weights == {}
+        controller.reconcile(10.0)
+        assert controller.last_error is None
+        assert controller.last_weights != {}
+
+    def test_interrupted_still_propagates(self):
+        source = FlakySource(failures=1,
+                             exc_factory=lambda: Interrupted("stop"))
+        controller = make_controller(source, FlakySink())
+        with pytest.raises(Interrupted):
+            controller.reconcile(5.0)
+
+    def test_degraded_before_any_success_returns_empty(self):
+        source = FlakySource(failures=1)
+        controller = make_controller(source, FlakySink())
+        assert controller.reconcile(5.0) == {}
+
+    def test_degraded_reconciles_scraped(self):
+        source = FlakySource(failures=1)
+        controller = make_controller(source, FlakySink())
+        store = TimeSeriesStore()
+        scraper = Scraper(store)
+        ControllerIntrospection(controller, prefix="l3").register(scraper)
+        controller.reconcile(5.0)
+        scraper.scrape_once(6.0)
+        samples = store.series("l3", DEGRADED_RECONCILES).window(0.0, 10.0)
+        assert samples[-1][1] == 1
+
+
+class TestPauseResume:
+    def test_paused_loop_skips_reconciles(self, sim):
+        controller = make_controller(FlakySource(), FlakySink())
+        process = sim.spawn(controller.run(sim))
+        sim.run(until=11.0)
+        assert controller.reconcile_count == 2  # t = 5, 10
+        controller.pause()
+        sim.run(until=21.0)
+        assert controller.reconcile_count == 2  # stalled
+        controller.resume()
+        sim.run(until=26.0)
+        assert controller.reconcile_count == 3  # t = 25
+        process.interrupt()
+        sim.run()
+
+
+class TestWeightRounding:
+    def test_half_weights_round_up_not_to_even(self, monkeypatch):
+        # Regression: int(round(2.5)) is 2 (banker's rounding); SMI
+        # weights must round half *up* so equal backends stay equal.
+        monkeypatch.setattr(
+            controller_module, "compute_weights",
+            lambda snapshots, config, penalty_overrides=None:
+                {"a": 2.5, "b": 3.5})
+        controller = make_controller(FlakySource(), FlakySink(),
+                                     rate_control_enabled=False)
+        weights = controller.reconcile(5.0)
+        assert weights == {"a": 3, "b": 4}
+
+    def test_sub_half_weight_floors_to_one(self, monkeypatch):
+        monkeypatch.setattr(
+            controller_module, "compute_weights",
+            lambda snapshots, config, penalty_overrides=None:
+                {"a": 0.2, "b": 900.0})
+        controller = make_controller(FlakySource(), FlakySink(),
+                                     rate_control_enabled=False)
+        assert controller.reconcile(5.0) == {"a": 1, "b": 900}
+
+
+class TestBackendRemoval:
+    def test_remove_backend_purges_weight_snapshots(self):
+        controller = make_controller(FlakySource(), FlakySink())
+        controller.reconcile(5.0)
+        assert "b" in controller.last_weights
+        assert "b" in controller.last_raw_weights
+        controller.remove_backend("b")
+        assert "b" not in controller.last_weights
+        assert "b" not in controller.last_raw_weights
+        assert "a" in controller.last_weights
+
+
+class TestStaleDecay:
+    """§4 no-traffic behaviour under a multi-interval scrape outage."""
+
+    def make_quiet_controller(self):
+        """A controller that saw one real sample, then silence."""
+        source = FlakySource()
+        controller = make_controller(source, FlakySink())
+        controller.reconcile(5.0)
+        return controller
+
+    def test_not_stale_within_staleness_window(self):
+        controller = self.make_quiet_controller()
+        state = controller.backends["a"]
+        before = state.latency.value
+        assert not state.is_stale(12.0)  # 7 s quiet < 10 s staleness
+        # A reconcile without samples inside the window leaves the
+        # filters untouched.
+        controller.metrics_source.collect = (
+            lambda names, now, window_s, percentile:
+                {name: None for name in names})
+        controller.reconcile(12.0)
+        assert state.latency.value == before
+
+    def test_multi_interval_outage_decays_toward_defaults(self):
+        controller = self.make_quiet_controller()
+        state = controller.backends["a"]
+        default = controller.config.default_latency_s
+        observed = state.latency.value
+        assert observed < default  # 50 ms sample vs 5 s default
+        controller.metrics_source.collect = (
+            lambda names, now, window_s, percentile:
+                {name: None for name in names})
+        values = []
+        for t in (20.0, 25.0, 30.0, 35.0, 40.0):
+            assert state.is_stale(t)
+            controller.reconcile(t)
+            values.append(state.latency.value)
+        # Monotone decay toward (but never past) the default.
+        assert values == sorted(values)
+        assert observed < values[0]
+        assert values[-1] <= default
+        # decay_fraction=0.1 per reconcile: five steps recover
+        # 1 - 0.9^5 of the gap.
+        expected = default - (default - observed) * 0.9 ** 5
+        assert values[-1] == pytest.approx(expected, rel=1e-6)
+
+    def test_success_rate_decays_up_toward_default(self):
+        source = FlakySource()
+        controller = make_controller(source, FlakySink())
+        low = {
+            "a": MetricSample(0.05, 0.2, 100.0, 1.0),
+            "b": MetricSample(0.05, 0.2, 100.0, 1.0),
+        }
+        source.collect = (lambda names, now, window_s, percentile:
+                          {name: low[name] for name in names})
+        controller.reconcile(5.0)
+        state = controller.backends["a"]
+        after_sample = state.success_rate.value
+        source.collect = (lambda names, now, window_s, percentile:
+                          {name: None for name in names})
+        for t in (20.0, 25.0, 30.0):
+            controller.reconcile(t)
+        assert state.success_rate.value > after_sample
+        assert (state.success_rate.value
+                <= controller.config.default_success_rate)

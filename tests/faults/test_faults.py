@@ -1,0 +1,233 @@
+"""Tests for the fault injector and the concrete fault types."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    ClusterOutage,
+    ControllerPause,
+    FaultInjector,
+    LinkDegradation,
+    LinkPartition,
+    ReplicaCrash,
+    ReplicaRestart,
+    ScrapeOutage,
+)
+from repro.mesh.mesh import ServiceMesh
+from repro.mesh.network import WanLink
+from repro.workloads.profiles import constant_backend_profile
+
+CLUSTERS = ["cluster-1", "cluster-2", "cluster-3"]
+
+
+@pytest.fixture
+def mesh(sim, rng_registry):
+    mesh = ServiceMesh(sim, rng_registry, clusters=CLUSTERS,
+                       wan_link=WanLink(base_delay_s=0.010,
+                                        jitter_p99_ratio=1.0,
+                                        drift_amplitude=0.0,
+                                        spike_prob=0.0))
+    mesh.deploy_service("api", profiles={
+        cluster: constant_backend_profile(0.010, 0.010)
+        for cluster in CLUSTERS
+    }, replicas=2)
+    return mesh
+
+
+@pytest.fixture
+def injector(mesh):
+    return FaultInjector(mesh)
+
+
+class FakeScraper:
+    def __init__(self):
+        self.paused = False
+
+    def pause(self):
+        self.paused = True
+
+    def resume(self):
+        self.paused = False
+
+
+class FakeController:
+    def __init__(self):
+        self.paused = False
+
+    def pause(self):
+        self.paused = True
+
+    def resume(self):
+        self.paused = False
+
+
+class TestScheduling:
+    def test_apply_and_revert_at_scheduled_times(self, sim, mesh, injector):
+        backend = mesh.deployment("api").backend_in("cluster-2")
+        injector.schedule(ClusterOutage("cluster-2", at_s=10.0,
+                                        duration_s=5.0))
+        sim.run(until=9.0)
+        assert backend.up_replica_count == 2
+        sim.run(until=12.0)
+        assert backend.up_replica_count == 0
+        sim.run(until=16.0)
+        assert backend.up_replica_count == 2
+
+    def test_offset_shifts_the_schedule(self, sim, mesh, injector):
+        backend = mesh.deployment("api").backend_in("cluster-2")
+        injector.schedule(ClusterOutage("cluster-2", at_s=10.0),
+                          offset_s=30.0)
+        sim.run(until=20.0)
+        assert backend.up_replica_count == 2
+        sim.run(until=41.0)
+        assert backend.up_replica_count == 0
+
+    def test_log_records_apply_and_revert(self, sim, injector):
+        injector.schedule(ClusterOutage("cluster-2", at_s=10.0,
+                                        duration_s=5.0))
+        sim.run(until=20.0)
+        assert len(injector.log) == 2
+        (t_apply, first), (t_revert, second) = injector.log
+        assert t_apply == 10.0 and "apply" in first
+        assert t_revert == 15.0 and "revert" in second
+
+    def test_past_start_rejected(self, sim, injector):
+        sim.run(until=20.0)
+        with pytest.raises(ConfigError, match="past"):
+            injector.schedule(ClusterOutage("cluster-2", at_s=10.0))
+
+    def test_schedule_all(self, sim, injector):
+        injector.schedule_all([
+            ClusterOutage("cluster-2", at_s=10.0, duration_s=5.0),
+            ScrapeOutage(at_s=12.0, duration_s=2.0),
+        ])
+        # Both validated and registered (the second needs a scraper at
+        # *apply* time, not schedule time).
+        assert injector.log == []
+
+    def test_invalid_schedule_rejected_upfront(self, injector):
+        with pytest.raises(ConfigError, match="start"):
+            injector.schedule(ClusterOutage("cluster-2", at_s=-1.0))
+        with pytest.raises(ConfigError, match="duration"):
+            injector.schedule(ClusterOutage("cluster-2", at_s=1.0,
+                                            duration_s=0.0))
+
+
+class TestReplicaFaults:
+    def test_crash_with_duration_auto_restarts(self, sim, mesh, injector):
+        backend = mesh.deployment("api").backend_in("cluster-1")
+        injector.schedule(ReplicaCrash("api", "cluster-1", at_s=5.0,
+                                       replica_index=1, duration_s=5.0))
+        sim.run(until=7.0)
+        assert backend.up_replica_count == 1
+        assert backend.replicas[1].up is False
+        sim.run(until=11.0)
+        assert backend.up_replica_count == 2
+
+    def test_crash_then_explicit_restart(self, sim, mesh, injector):
+        backend = mesh.deployment("api").backend_in("cluster-1")
+        injector.schedule_all([
+            ReplicaCrash("api", "cluster-1", at_s=5.0),
+            ReplicaRestart("api", "cluster-1", at_s=9.0),
+        ])
+        sim.run(until=7.0)
+        assert backend.replicas[0].up is False
+        sim.run(until=10.0)
+        assert backend.replicas[0].up is True
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigError, match="index"):
+            ReplicaCrash("api", "cluster-1", at_s=1.0,
+                         replica_index=-1).validate()
+
+    def test_out_of_range_index_raises_at_apply(self, mesh, injector):
+        fault = ReplicaCrash("api", "cluster-1", at_s=1.0, replica_index=9)
+        fault.validate()
+        with pytest.raises(ConfigError, match="replicas"):
+            fault.apply(injector)
+
+
+class TestClusterOutage:
+    def test_service_scoped_outage(self, sim, mesh, injector):
+        mesh.deploy_service("billing", profiles={
+            "cluster-2": constant_backend_profile(0.010, 0.010)})
+        injector.schedule(ClusterOutage("cluster-2", at_s=5.0,
+                                        service="billing"))
+        sim.run(until=6.0)
+        assert mesh.deployment("billing").backend_in(
+            "cluster-2").up_replica_count == 0
+        assert mesh.deployment("api").backend_in(
+            "cluster-2").up_replica_count == 2
+
+    def test_unknown_cluster_raises_at_apply(self, injector):
+        fault = ClusterOutage("atlantis", at_s=1.0)
+        with pytest.raises(ConfigError, match="no backends"):
+            fault.apply(injector)
+
+
+class TestLinkFaults:
+    def test_partition_makes_delay_infinite(self, sim, mesh, injector, rng):
+        injector.schedule(LinkPartition("cluster-1", "cluster-2", at_s=5.0,
+                                        duration_s=5.0))
+        sim.run(until=6.0)
+        network = mesh.network
+        assert math.isinf(network.delay("cluster-1", "cluster-2", rng, 6.0))
+        assert math.isinf(network.delay("cluster-2", "cluster-1", rng, 6.0))
+        # Unrelated pairs are unaffected.
+        assert network.delay("cluster-1", "cluster-3", rng, 6.0) < 1.0
+        sim.run(until=11.0)
+        assert network.delay("cluster-1", "cluster-2", rng, 11.0) < 1.0
+
+    def test_asymmetric_partition(self, sim, mesh, injector, rng):
+        injector.schedule(LinkPartition("cluster-1", "cluster-2", at_s=5.0,
+                                        symmetric=False))
+        sim.run(until=6.0)
+        assert math.isinf(
+            mesh.network.delay("cluster-1", "cluster-2", rng, 6.0))
+        assert mesh.network.delay("cluster-2", "cluster-1", rng, 6.0) < 1.0
+
+    def test_degradation_inflates_delay(self, sim, mesh, injector, rng):
+        baseline = mesh.network.delay("cluster-1", "cluster-2", rng, 1.0)
+        injector.schedule(LinkDegradation(
+            "cluster-1", "cluster-2", at_s=5.0, duration_s=5.0,
+            multiplier=10.0, extra_delay_s=0.5))
+        sim.run(until=6.0)
+        degraded = mesh.network.delay("cluster-1", "cluster-2", rng, 6.0)
+        assert degraded >= 0.5 + baseline  # extra + inflated base
+        sim.run(until=11.0)
+        healed = mesh.network.delay("cluster-1", "cluster-2", rng, 11.0)
+        assert healed == pytest.approx(baseline, rel=0.5)
+
+
+class TestControlPlaneFaults:
+    def test_scrape_outage_pauses_and_resumes(self, sim, mesh):
+        scraper = FakeScraper()
+        injector = FaultInjector(mesh, scraper=scraper)
+        injector.schedule(ScrapeOutage(at_s=5.0, duration_s=5.0))
+        sim.run(until=6.0)
+        assert scraper.paused is True
+        sim.run(until=11.0)
+        assert scraper.paused is False
+
+    def test_scrape_outage_needs_a_scraper(self, injector):
+        with pytest.raises(ConfigError, match="scraper"):
+            ScrapeOutage(at_s=1.0).apply(injector)
+
+    def test_controller_pause_and_resume(self, sim, mesh):
+        controller = FakeController()
+        injector = FaultInjector(mesh, controllers=[controller])
+        injector.schedule(ControllerPause(at_s=5.0, duration_s=5.0))
+        sim.run(until=6.0)
+        assert controller.paused is True
+        sim.run(until=11.0)
+        assert controller.paused is False
+
+    def test_controller_pause_needs_controllers(self, injector):
+        with pytest.raises(ConfigError, match="controllers"):
+            ControllerPause(at_s=1.0).apply(injector)
+
+    def test_none_controllers_filtered(self, mesh):
+        injector = FaultInjector(mesh, controllers=[None])
+        assert injector.controllers == []

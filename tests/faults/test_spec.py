@@ -1,0 +1,127 @@
+"""Tests for the compact --faults spec grammar."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    ClusterOutage,
+    ControllerPause,
+    LinkDegradation,
+    LinkPartition,
+    ReplicaCrash,
+    ScrapeOutage,
+    parse_fault_spec,
+)
+from repro.faults.spec import FAULT_KINDS, parse_fault_entry
+
+
+class TestParseEntry:
+    def test_cluster_outage(self):
+        fault = parse_fault_entry(
+            "cluster-outage@60+30:cluster=cluster-2:mode=blackhole")
+        assert isinstance(fault, ClusterOutage)
+        assert fault.cluster == "cluster-2"
+        assert fault.at_s == 60.0
+        assert fault.duration_s == 30.0
+        assert fault.mode == "blackhole"
+        assert fault.service is None
+
+    def test_duration_is_optional(self):
+        fault = parse_fault_entry("cluster-outage@60:cluster=cluster-2")
+        assert fault.duration_s is None
+
+    def test_replica_crash_with_index(self):
+        fault = parse_fault_entry(
+            "replica-crash@10+40:service=api:cluster=cluster-1:index=2")
+        assert isinstance(fault, ReplicaCrash)
+        assert fault.replica_index == 2
+        assert fault.mode == "fail_fast"
+
+    def test_link_partition_symmetric_flag(self):
+        fault = parse_fault_entry(
+            "link-partition@30+20:src=cluster-1:dst=cluster-2"
+            ":symmetric=false")
+        assert isinstance(fault, LinkPartition)
+        assert fault.symmetric is False
+
+    def test_link_degradation_numbers(self):
+        fault = parse_fault_entry(
+            "link-degradation@30+60:src=cluster-1:dst=cluster-3"
+            ":multiplier=5:extra=0.2")
+        assert isinstance(fault, LinkDegradation)
+        assert fault.multiplier == 5.0
+        assert fault.extra_delay_s == 0.2
+
+    def test_parameterless_kinds(self):
+        assert isinstance(parse_fault_entry("scrape-outage@40+25"),
+                          ScrapeOutage)
+        assert isinstance(parse_fault_entry("controller-pause@50+15"),
+                          ControllerPause)
+
+    def test_whitespace_tolerated(self):
+        fault = parse_fault_entry(
+            "  cluster-outage@60+30 : cluster = cluster-2  ")
+        assert fault.cluster == "cluster-2"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault kind"):
+            parse_fault_entry("meteor-strike@10")
+
+    def test_missing_start_rejected(self):
+        with pytest.raises(ConfigError, match="start time"):
+            parse_fault_entry("scrape-outage")
+
+    def test_missing_required_key_rejected(self):
+        with pytest.raises(ConfigError, match="cluster"):
+            parse_fault_entry("cluster-outage@60+30")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="does not take"):
+            parse_fault_entry("scrape-outage@40:cluster=cluster-1")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            parse_fault_entry(
+                "cluster-outage@60:cluster=a:cluster=b")
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(ConfigError, match="seconds"):
+            parse_fault_entry("scrape-outage@soon")
+        with pytest.raises(ConfigError, match="number"):
+            parse_fault_entry(
+                "link-degradation@1:src=a:dst=b:multiplier=lots")
+
+    def test_bad_boolean_rejected(self):
+        with pytest.raises(ConfigError, match="boolean"):
+            parse_fault_entry(
+                "link-partition@1:src=a:dst=b:symmetric=maybe")
+
+    def test_validation_runs_on_parse(self):
+        # A degradation that degrades nothing is a misconfiguration.
+        with pytest.raises(ConfigError, match="multiplier"):
+            parse_fault_entry("link-degradation@1:src=a:dst=b")
+        with pytest.raises(ConfigError, match="mode"):
+            parse_fault_entry("cluster-outage@1:cluster=a:mode=sideways")
+
+
+class TestParseSpec:
+    def test_multiple_entries(self):
+        faults = parse_fault_spec(
+            "cluster-outage@60+30:cluster=cluster-2 ; scrape-outage@90+10")
+        assert len(faults) == 2
+        assert isinstance(faults[0], ClusterOutage)
+        assert isinstance(faults[1], ScrapeOutage)
+
+    def test_trailing_separator_ignored(self):
+        faults = parse_fault_spec("scrape-outage@40+25;")
+        assert len(faults) == 1
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ConfigError, match="empty"):
+            parse_fault_spec(" ; ")
+
+    def test_every_kind_is_listed(self):
+        assert FAULT_KINDS == (
+            "cluster-outage", "controller-pause", "link-degradation",
+            "link-partition", "replica-crash", "replica-restart",
+            "scrape-outage")

@@ -1,0 +1,113 @@
+"""Tests for consecutive-failure outlier ejection (circuit breaking)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mesh.ejection import OutlierEjectionConfig, OutlierEjector
+
+
+def make_ejector(**kwargs):
+    defaults = dict(consecutive_failures=3, ejection_s=10.0,
+                    backoff_multiplier=2.0, max_ejection_s=40.0)
+    defaults.update(kwargs)
+    return OutlierEjector(["a", "b"], OutlierEjectionConfig(**defaults))
+
+
+def fail(ejector, name, now, times):
+    for _ in range(times):
+        ejector.on_response(name, now, success=False)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OutlierEjectionConfig(consecutive_failures=0)
+        with pytest.raises(ConfigError):
+            OutlierEjectionConfig(ejection_s=0.0)
+        with pytest.raises(ConfigError):
+            OutlierEjectionConfig(backoff_multiplier=0.5)
+        with pytest.raises(ConfigError):
+            OutlierEjectionConfig(ejection_s=10.0, max_ejection_s=5.0)
+
+
+class TestClosedBreaker:
+    def test_admits_by_default(self):
+        ejector = make_ejector()
+        assert ejector.admit("a", 0.0)
+        assert not ejector.is_ejected("a", 0.0)
+
+    def test_needs_consecutive_failures(self):
+        ejector = make_ejector()
+        fail(ejector, "a", 1.0, 2)
+        ejector.on_response("a", 1.0, success=True)  # streak broken
+        fail(ejector, "a", 2.0, 2)
+        assert ejector.admit("a", 2.0)
+        assert ejector.ejections == 0
+
+    def test_trips_on_threshold(self):
+        ejector = make_ejector()
+        fail(ejector, "a", 1.0, 3)
+        assert not ejector.admit("a", 2.0)
+        assert ejector.is_ejected("a", 2.0)
+        assert ejector.ejections == 1
+
+    def test_breakers_are_per_backend(self):
+        ejector = make_ejector()
+        fail(ejector, "a", 1.0, 3)
+        assert ejector.admit("b", 2.0)
+
+
+class TestHalfOpenProbing:
+    def test_single_probe_after_expiry(self):
+        ejector = make_ejector()
+        fail(ejector, "a", 0.0, 3)  # ejected until t=10
+        assert not ejector.admit("a", 9.9)
+        assert ejector.admit("a", 10.1)  # the probe slot
+        assert not ejector.admit("a", 10.2)  # slot taken
+
+    def test_probe_success_closes(self):
+        ejector = make_ejector()
+        fail(ejector, "a", 0.0, 3)
+        assert ejector.admit("a", 11.0)
+        ejector.on_response("a", 11.5, success=True)
+        assert ejector.admit("a", 11.6)
+        assert not ejector.is_ejected("a", 11.6)
+        # A later trip starts from the base ejection again.
+        fail(ejector, "a", 12.0, 3)
+        assert not ejector.admit("a", 21.0)  # 12 + 10 = 22
+        assert ejector.admit("a", 22.5)
+
+    def test_probe_failure_reejects_with_backoff(self):
+        ejector = make_ejector()
+        fail(ejector, "a", 0.0, 3)  # open until 10
+        assert ejector.admit("a", 11.0)
+        ejector.on_response("a", 11.5, success=False)
+        # Re-ejected for 2 x 10 = 20 s from t=11.5.
+        assert not ejector.admit("a", 30.0)
+        assert ejector.admit("a", 32.0)
+        assert ejector.ejections == 2
+
+    def test_backoff_is_capped(self):
+        ejector = make_ejector()
+        now = 0.0
+        fail(ejector, "a", now, 3)
+        for _ in range(5):  # 10 -> 20 -> 40 -> 40 -> 40 (cap)
+            now = ejector._breakers["a"].ejected_until + 0.1
+            assert ejector.admit("a", now)
+            ejector.on_response("a", now, success=False)
+        breaker = ejector._breakers["a"]
+        assert breaker.ejected_until - now == pytest.approx(40.0)
+
+    def test_stale_response_during_open_ignored(self):
+        ejector = make_ejector()
+        fail(ejector, "a", 0.0, 3)
+        # A slow success from before the trip arrives while open: the
+        # breaker stays open.
+        ejector.on_response("a", 1.0, success=True)
+        assert not ejector.admit("a", 1.0)
+
+    def test_unknown_backend_gets_a_breaker(self):
+        ejector = make_ejector()
+        assert ejector.admit("late-addition", 0.0)
+        fail(ejector, "late-addition", 1.0, 3)
+        assert not ejector.admit("late-addition", 1.0)

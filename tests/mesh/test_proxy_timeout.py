@@ -1,0 +1,196 @@
+"""Tests for proxy request deadlines, down replicas, and ejection wiring."""
+
+import pytest
+
+from repro.balancers.round_robin import RoundRobinBalancer
+from repro.balancers.static_weights import StaticWeightBalancer
+from repro.errors import ConfigError, MeshError
+from repro.mesh.ejection import OutlierEjectionConfig
+from repro.mesh.mesh import ServiceMesh
+from repro.mesh.network import WanLink
+from repro.workloads.profiles import constant_backend_profile
+
+CLUSTERS = ["cluster-1", "cluster-2", "cluster-3"]
+
+
+@pytest.fixture
+def mesh(sim, rng_registry):
+    mesh = ServiceMesh(sim, rng_registry, clusters=CLUSTERS,
+                       wan_link=WanLink(base_delay_s=0.010,
+                                        jitter_p99_ratio=1.0,
+                                        drift_amplitude=0.0,
+                                        spike_prob=0.0))
+    mesh.deploy_service("api", profiles={
+        cluster: constant_backend_profile(0.010, 0.010)
+        for cluster in CLUSTERS
+    }, replicas=2)
+    return mesh
+
+
+def to_cluster_1():
+    return StaticWeightBalancer({"api/cluster-1": 1.0})
+
+
+class TestReplicaDownModes:
+    def test_fail_fast_crash_fails_quickly(self, sim, mesh):
+        backend = mesh.deployment("api").backend_in("cluster-1")
+        backend.crash("fail_fast")
+        proxy = mesh.client_proxy("cluster-1", "api", to_cluster_1())
+        process = sim.spawn(proxy.dispatch())
+        sim.run()
+        record = process.value
+        assert record.success is False
+        assert record.latency_s < 1.0  # the profile's failure latency
+
+    def test_blackhole_crash_hangs_without_deadline(self, sim, mesh):
+        mesh.deployment("api").backend_in("cluster-1").crash("blackhole")
+        proxy = mesh.client_proxy("cluster-1", "api", to_cluster_1())
+        process = sim.spawn(proxy.dispatch())
+        sim.run(until=60.0)
+        assert process.is_alive  # parked forever: nothing ever answers
+
+    def test_restart_releases_blackholed_requests(self, sim, mesh):
+        backend = mesh.deployment("api").backend_in("cluster-1")
+        backend.crash("blackhole")
+        proxy = mesh.client_proxy("cluster-1", "api", to_cluster_1())
+        process = sim.spawn(proxy.dispatch())
+        sim.run(until=5.0)
+        assert process.is_alive
+        backend.restart()
+        sim.run()
+        record = process.value
+        # The hung request completes as a failure, not a success.
+        assert record.success is False
+        assert record.end_s >= 5.0
+
+    def test_crash_mode_validated(self, mesh):
+        backend = mesh.deployment("api").backend_in("cluster-1")
+        with pytest.raises(ConfigError):
+            backend.replicas[0].crash("sideways")
+
+    def test_picker_skips_down_replicas(self, sim, mesh):
+        backend = mesh.deployment("api").backend_in("cluster-1")
+        backend.replicas[0].crash("fail_fast")
+        proxy = mesh.client_proxy("cluster-1", "api", to_cluster_1())
+        for _ in range(4):
+            process = sim.spawn(proxy.dispatch())
+            sim.run()
+            assert process.value.success is True  # replica 1 serves all
+
+
+class TestRequestDeadline:
+    def test_timeout_must_be_positive(self, mesh):
+        with pytest.raises(MeshError, match="timeout"):
+            mesh.client_proxy("cluster-1", "api", to_cluster_1(),
+                              request_timeout_s=0.0)
+
+    def test_blackhole_fails_at_deadline(self, sim, mesh):
+        mesh.deployment("api").backend_in("cluster-1").crash("blackhole")
+        proxy = mesh.client_proxy("cluster-1", "api", to_cluster_1(),
+                                  request_timeout_s=0.5)
+        process = sim.spawn(proxy.dispatch())
+        sim.run()
+        record = process.value
+        assert record.success is False
+        assert record.latency_s == pytest.approx(0.5, abs=0.01)
+        assert proxy.timeouts == 1
+
+    def test_timeout_recorded_as_failed_attempt_in_telemetry(self, sim, mesh):
+        mesh.deployment("api").backend_in("cluster-1").crash("blackhole")
+        proxy = mesh.client_proxy("cluster-1", "api", to_cluster_1(),
+                                  request_timeout_s=0.5)
+        sim.spawn(proxy.dispatch())
+        sim.run()
+        telemetry = proxy.telemetry["api/cluster-1"]
+        assert telemetry.requests_total.value == 1
+        assert telemetry.failures_total.value == 1
+        # The abandoned attempt no longer counts as in flight for the
+        # *client*: it got its (failure) answer at the deadline.
+        assert telemetry.inflight.value == 0
+
+    def test_fast_request_unaffected_by_deadline(self, sim, mesh):
+        proxy = mesh.client_proxy("cluster-1", "api", to_cluster_1(),
+                                  request_timeout_s=5.0)
+        process = sim.spawn(proxy.dispatch())
+        sim.run()
+        assert process.value.success is True
+        assert proxy.timeouts == 0
+
+    def test_partitioned_link_fails_at_deadline(self, sim, mesh):
+        mesh.network.partition("cluster-1", "cluster-2")
+        proxy = mesh.client_proxy(
+            "cluster-1", "api",
+            StaticWeightBalancer({"api/cluster-2": 1.0}),
+            request_timeout_s=0.5)
+        process = sim.spawn(proxy.dispatch())
+        sim.run()
+        record = process.value
+        assert record.success is False
+        assert record.latency_s == pytest.approx(0.5, abs=0.01)
+
+    def test_abandoned_call_does_not_abort_the_run(self, sim, mesh):
+        # The replica answers (a failure) *after* the deadline: the
+        # abandoned subprocess must not trip the simulator's unhandled
+        # failure check.
+        backend = mesh.deployment("api").backend_in("cluster-1")
+        backend.crash("blackhole")
+        proxy = mesh.client_proxy("cluster-1", "api", to_cluster_1(),
+                                  request_timeout_s=0.5)
+        process = sim.spawn(proxy.dispatch())
+        sim.run(until=2.0)
+        assert process.value.success is False
+        backend.restart()  # releases the blackholed forward as a failure
+        sim.run()  # must not raise
+
+
+class TestDeadlineWithRetries:
+    def test_each_attempt_gets_its_own_deadline(self, sim, mesh):
+        mesh.deployment("api").backend_in("cluster-1").crash("blackhole")
+        proxy = mesh.client_proxy("cluster-1", "api", to_cluster_1(),
+                                  max_retries=2, request_timeout_s=0.5)
+        process = sim.spawn(proxy.dispatch())
+        sim.run()
+        record = process.value
+        assert record.success is False
+        assert record.attempts == 3
+        assert proxy.timeouts == 3
+        assert record.latency_s == pytest.approx(1.5, abs=0.05)
+
+
+class TestProxyEjection:
+    def test_consecutive_failures_eject_and_reroute(self, sim, mesh):
+        mesh.deployment("api").backend_in("cluster-1").crash("fail_fast")
+        proxy = mesh.client_proxy(
+            "cluster-1", "api",
+            RoundRobinBalancer(["api/cluster-1", "api/cluster-2",
+                                "api/cluster-3"]),
+            outlier_ejection=OutlierEjectionConfig(consecutive_failures=2,
+                                                   ejection_s=30.0))
+        outcomes = []
+        for _ in range(12):
+            process = sim.spawn(proxy.dispatch())
+            sim.run()
+            outcomes.append(process.value)
+        assert proxy.ejector.ejections >= 1
+        # After the breaker trips, traffic avoids the dead backend.
+        later = outcomes[6:]
+        assert all(r.backend != "api/cluster-1" for r in later)
+        assert all(r.success for r in later)
+
+    def test_fails_open_when_everything_is_ejected(self, sim, mesh):
+        mesh.deployment("api").backend_in("cluster-1").crash("fail_fast")
+        proxy = mesh.client_proxy(
+            "cluster-1", "api", to_cluster_1(),
+            outlier_ejection=OutlierEjectionConfig(consecutive_failures=1,
+                                                   ejection_s=60.0))
+        for _ in range(4):
+            process = sim.spawn(proxy.dispatch())
+            sim.run()
+        # Only ejected backends available: requests still go out (and
+        # fail) instead of erroring or hanging in the pick loop.
+        assert process.value.success is False
+        assert proxy.ejector.ejections >= 1
+
+    def test_ejection_off_by_default(self, mesh):
+        proxy = mesh.client_proxy("cluster-1", "api", to_cluster_1())
+        assert proxy.ejector is None

@@ -12,6 +12,7 @@ class TestList:
         assert "scenario-1" in out
         assert "l3" in out
         assert "fig9" in out
+        assert "cluster-outage" in out  # fault kinds
 
 
 class TestRun:
@@ -34,6 +35,33 @@ class TestRun:
     def test_rejects_unknown_scenario(self):
         with pytest.raises(SystemExit):
             main(["run", "--scenario", "scenario-42"])
+
+
+class TestRunWithFaults:
+    def test_fault_spec_and_timeout(self, capsys):
+        code = main([
+            "run", "--scenario", "scenario-5", "--algorithm", "l3",
+            "--duration", "30", "--request-timeout", "1.0",
+            "--faults", "cluster-outage@5+10:cluster=cluster-2"
+                        ":mode=blackhole",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "success rate" in out
+
+    def test_outlier_ejection_flag(self, capsys):
+        code = main([
+            "run", "--scenario", "scenario-5", "--algorithm",
+            "round-robin", "--duration", "15", "--outlier-ejection",
+        ])
+        assert code == 0
+
+    def test_bad_fault_spec_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["run", "--duration", "15",
+                  "--faults", "meteor-strike@10"])
 
 
 class TestHotel:

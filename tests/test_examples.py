@@ -40,6 +40,13 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "penalty factor sweep" in result.stdout
         assert "dynamic penalty" in result.stdout
+        # The fault-API demo ran its full crash → detect → reroute →
+        # restart → re-balance cycle (the script asserts the traffic
+        # shares internally; a failure would flip the return code).
+        assert "fault injection API" in result.stdout
+        assert "apply ClusterOutage" in result.stdout
+        assert "revert ClusterOutage" in result.stdout
+        assert "rerouted around the outage" in result.stdout
 
     def test_social_network(self):
         result = run_example("social_network.py", "60", "30")
