@@ -1,0 +1,92 @@
+"""Tracing overhead: what does span recording cost the simulation?
+
+The ISSUE's acceptance bar is that a run with tracing *disabled* (no
+tracer attached) stays within a few percent of the seed's wall-clock —
+the data plane pays exactly one ``mesh.tracer is None`` check per
+request. This benchmark times the same short scenario run four ways:
+
+* ``off``       — no tracer attached (the baseline every other run in
+  the repo uses);
+* ``rate0``     — tracer attached, sample rate 0.0 (ids are drawn and
+  hashed, every trace rejected);
+* ``rate01``    — sample rate 0.1 (deterministic head sampling admits
+  ~10 % of traces);
+* ``rate1``     — sample rate 1.0 (every span of every request
+  recorded).
+
+It also asserts the determinism contract: two identically-seeded traced
+runs export byte-identical OTLP JSON.
+
+The rendered table lands in ``benchmarks/_output/tracing_overhead.txt``;
+CI uploads it as a build artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import save_output
+
+from repro.bench.coordinator import run_scenario_benchmark
+from repro.tracing import MeshTracer, TracingConfig, to_otlp
+
+DURATION_S = 30.0
+SCENARIO = "scenario-5"
+SEED = 7
+
+
+def _timed_run(sample_rate: float | None):
+    tracer = None
+    if sample_rate is not None:
+        tracer = MeshTracer(TracingConfig(sample_rate=sample_rate))
+    started = time.perf_counter()
+    result = run_scenario_benchmark(
+        SCENARIO, "l3", duration_s=DURATION_S, seed=SEED, tracer=tracer)
+    elapsed = time.perf_counter() - started
+    spans = len(tracer.recorder.finished_spans()) if tracer else 0
+    return elapsed, result, spans
+
+
+def test_tracing_overhead(benchmark):
+    def measure():
+        rows = {}
+        for label, rate in (("off", None), ("rate0", 0.0),
+                            ("rate01", 0.1), ("rate1", 1.0)):
+            elapsed, result, spans = _timed_run(rate)
+            rows[label] = (elapsed, result.request_count, spans)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    baseline = rows["off"][0]
+    lines = ["tracing overhead vs untraced baseline "
+             f"({SCENARIO}, {DURATION_S:.0f}s, seed {SEED})",
+             f"  {'mode':<8} {'seconds':>8} {'overhead':>9} "
+             f"{'requests':>9} {'spans':>8}"]
+    for label, (elapsed, requests, spans) in rows.items():
+        overhead = (elapsed / baseline - 1.0) * 100.0
+        lines.append(f"  {label:<8} {elapsed:>8.3f} {overhead:>+8.1f}% "
+                     f"{requests:>9} {spans:>8}")
+    text = "\n".join(lines)
+    print()
+    print(text)
+    save_output("tracing_overhead", text)
+
+    # Same seed and rate → identical request paths → identical spans.
+    # (Wall-clock comparisons are too noisy to assert on in CI; the
+    # determinism contract is the part a regression would silently break.)
+    for (e0, r0, s0), (e1, r1, s1) in [(rows["off"], rows["rate0"])]:
+        assert r0 == r1, "attaching a rate-0 tracer changed the run"
+    assert rows["rate1"][2] > rows["rate01"][2] > 0
+
+
+def test_traced_runs_are_byte_identical():
+    import json
+
+    exports = []
+    for _ in range(2):
+        tracer = MeshTracer(TracingConfig(sample_rate=0.1))
+        run_scenario_benchmark(
+            SCENARIO, "l3", duration_s=15.0, seed=SEED, tracer=tracer)
+        exports.append(json.dumps(to_otlp(tracer.recorder), sort_keys=True))
+    assert exports[0] == exports[1]

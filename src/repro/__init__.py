@@ -54,6 +54,13 @@ from repro.faults import (
     parse_fault_spec,
 )
 from repro.mesh.ejection import OutlierEjectionConfig
+from repro.tracing import (
+    DecisionAuditLog,
+    MeshTracer,
+    TracingConfig,
+    export_trace,
+    scenario_from_otlp,
+)
 from repro.workloads.scenarios import SCENARIO_NAMES, build_scenario
 from repro.workloads.traceio import load_scenario, save_scenario
 
@@ -68,6 +75,7 @@ __all__ = [
     "ControllerPause",
     "ControllerReplica",
     "CostConfig",
+    "DecisionAuditLog",
     "Ewma",
     "Fault",
     "FaultInjector",
@@ -76,6 +84,7 @@ __all__ = [
     "LeaseLock",
     "LinkDegradation",
     "LinkPartition",
+    "MeshTracer",
     "MetricSample",
     "OutlierEjectionConfig",
     "PeakEwma",
@@ -84,10 +93,12 @@ __all__ = [
     "SCENARIO_NAMES",
     "ScenarioBenchConfig",
     "ScrapeOutage",
+    "TracingConfig",
     "WeightingConfig",
     "apply_rate_control",
     "build_scenario",
     "compute_weights",
+    "export_trace",
     "half_life_to_beta",
     "load_scenario",
     "make_balancer",
@@ -98,5 +109,6 @@ __all__ = [
     "run_scenario_benchmark",
     "run_social_benchmark",
     "save_scenario",
+    "scenario_from_otlp",
     "__version__",
 ]

@@ -1,5 +1,10 @@
 """Exact statistics over captured benchmark records (reporting path)."""
 
+from repro.analysis.critical_path import (
+    BackendCriticalPath,
+    critical_path,
+    render_critical_path,
+)
 from repro.analysis.percentiles import exact_percentile, percentile_summary
 from repro.analysis.stats import (
     latency_timeline,
@@ -9,10 +14,13 @@ from repro.analysis.stats import (
 )
 
 __all__ = [
+    "BackendCriticalPath",
+    "critical_path",
     "exact_percentile",
     "latency_timeline",
     "percentile_summary",
     "relative_decrease",
+    "render_critical_path",
     "rps_timeline",
     "success_rate",
 ]

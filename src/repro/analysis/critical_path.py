@@ -1,0 +1,170 @@
+"""Critical-path latency breakdown from recorded trace spans.
+
+Answers the question the paper's aggregated percentiles cannot: when a
+client saw a slow request, *where did the time go*? Each recorded trace
+is decomposed into the legs of the request path and aggregated per
+backend:
+
+* **exec** — replica execution (``server.exec``), the part the §5.1
+  scenario profiles model;
+* **queue** — waiting for a replica concurrency slot (``server.queue``),
+  the congestion signal Algorithm 1's in-flight term manages;
+* **wan** — network transit (``wan.send`` + ``wan.recv``), what the
+  paper's methodology explicitly excludes from execution latency;
+* **retry** — time burned in failed attempts and back-offs before the
+  attempt that produced the response;
+* **other** — the residual: proxy forwarding overhead, and time inside
+  a final attempt not covered by finished child spans (e.g. the wait on
+  an abandoned, deadline-expired leg).
+
+Shares are computed over client-perceived latency (the root ``request``
+span, measured from the intended start, coordinated-omission corrected),
+so the columns of :func:`render_critical_path` sum to ~100 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tracing import model
+
+
+@dataclass
+class BackendCriticalPath:
+    """Aggregated latency decomposition for one backend.
+
+    Attributes:
+        backend: backend name (requests attributed to the backend that
+            served — or last attempted — them).
+        requests: number of traced requests.
+        attempts: total attempts across those requests (equals
+            ``requests`` when nothing retried — the
+            ``RequestRecord.attempts`` column, now surfaced).
+        total_s / exec_s / queue_s / wan_s / retry_s: summed seconds per
+            component across all traced requests.
+    """
+
+    backend: str
+    requests: int = 0
+    attempts: int = 0
+    total_s: float = 0.0
+    exec_s: float = 0.0
+    queue_s: float = 0.0
+    wan_s: float = 0.0
+    retry_s: float = 0.0
+    statuses: dict = field(default_factory=dict)
+
+    @property
+    def other_s(self) -> float:
+        """Residual time (overhead, abandoned-leg waits)."""
+        accounted = self.exec_s + self.queue_s + self.wan_s + self.retry_s
+        return max(self.total_s - accounted, 0.0)
+
+    @property
+    def mean_attempts(self) -> float:
+        """Average attempts per request (1.0 = nothing retried)."""
+        return self.attempts / self.requests if self.requests else 0.0
+
+    def share(self, component_s: float) -> float:
+        """A component's fraction of total client-perceived latency."""
+        return component_s / self.total_s if self.total_s > 0 else 0.0
+
+
+def _spans_of(recorder_or_spans):
+    finished = getattr(recorder_or_spans, "finished_spans", None)
+    if finished is not None:
+        return finished()
+    return [s for s in recorder_or_spans if s.finished]
+
+
+def critical_path(recorder_or_spans) -> dict[str, BackendCriticalPath]:
+    """Decompose every recorded trace; returns backend → aggregate.
+
+    Accepts a :class:`~repro.tracing.recorder.SpanRecorder` (or any
+    iterable of :class:`~repro.tracing.model.TraceSpan`); open spans and
+    traces without a finished root are skipped.
+    """
+    by_trace: dict[int, list] = {}
+    for span in _spans_of(recorder_or_spans):
+        by_trace.setdefault(span.trace_id, []).append(span)
+
+    out: dict[str, BackendCriticalPath] = {}
+    for spans in by_trace.values():
+        roots = [s for s in spans if s.name == model.REQUEST]
+        if not roots:
+            continue
+        root = roots[0]
+        backend = root.attributes.get("backend")
+        if backend is None:
+            continue
+        attempts = sorted(
+            (s for s in spans if s.name == model.ATTEMPT),
+            key=lambda s: s.start_s)
+        if not attempts:
+            continue
+        final = attempts[-1]
+        final_children = [s for s in spans if s.parent_id == final.span_id]
+
+        row = out.get(backend)
+        if row is None:
+            row = out[backend] = BackendCriticalPath(backend)
+        row.requests += 1
+        row.attempts += int(root.attributes.get("attempts", len(attempts)))
+        row.total_s += root.duration_s
+        row.statuses[root.status] = row.statuses.get(root.status, 0) + 1
+        for child in final_children:
+            # Clip to the attempt's window: a deadline-abandoned leg can
+            # finish long after the client gave up (e.g. a blackholed
+            # replica releasing its parked request when the fault
+            # reverts), and only the overlap was on the client's clock.
+            overlap = _overlap(child, final)
+            if child.name == model.SERVER_EXEC:
+                row.exec_s += overlap
+            elif child.name == model.SERVER_QUEUE:
+                row.queue_s += overlap
+            elif child.kind == model.NETWORK:
+                row.wan_s += overlap
+        # Everything before the final attempt was wasted on retries:
+        # earlier attempts in full, plus the back-off gaps between them.
+        for earlier in attempts[:-1]:
+            row.retry_s += _overlap(earlier, root)
+        for span in spans:
+            if span.name == model.RETRY_BACKOFF:
+                row.retry_s += _overlap(span, root)
+    return out
+
+
+def _overlap(span, window) -> float:
+    """Seconds of ``span`` that fall inside ``window``'s interval."""
+    return max(
+        min(span.end_s, window.end_s) - max(span.start_s, window.start_s),
+        0.0)
+
+
+def render_critical_path(
+        breakdown: dict[str, BackendCriticalPath],
+        title: str = "critical path (share of client latency)") -> str:
+    """A per-backend table of the latency decomposition.
+
+    Columns: traced request count, total retry attempts beyond the first
+    (the ``RequestRecord.attempts`` signal), mean client latency, and
+    each component's share of client-perceived time.
+    """
+    if not breakdown:
+        raise ValueError("no traces to report on")
+    header = (f"  {'backend':<24} {'reqs':>6} {'attempts':>8} "
+              f"{'mean ms':>8} {'exec':>6} {'queue':>6} {'wan':>6} "
+              f"{'retry':>6} {'other':>6}")
+    lines = [title, header]
+    for backend in sorted(breakdown):
+        row = breakdown[backend]
+        mean_ms = row.total_s / row.requests * 1000.0 if row.requests else 0.0
+        lines.append(
+            f"  {backend:<24} {row.requests:>6} "
+            f"{row.mean_attempts:>8.2f} {mean_ms:>8.2f} "
+            f"{row.share(row.exec_s) * 100:>5.1f}% "
+            f"{row.share(row.queue_s) * 100:>5.1f}% "
+            f"{row.share(row.wan_s) * 100:>5.1f}% "
+            f"{row.share(row.retry_s) * 100:>5.1f}% "
+            f"{row.share(row.other_s) * 100:>5.1f}%")
+    return "\n".join(lines)

@@ -9,7 +9,7 @@ rates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.analysis.percentiles import exact_percentile
 from repro.analysis.stats import success_rate as _success_rate
@@ -87,6 +87,9 @@ class BenchmarkResult:
             retrieves L3's internal state).
         fault_log: ``(sim_time, description)`` per applied/reverted fault,
             when the run injected any.
+        tracer: the :class:`~repro.tracing.recorder.MeshTracer` the run
+            recorded into, when one was passed — its recorder feeds the
+            exporters and the critical-path report.
     """
 
     scenario: str
@@ -96,6 +99,7 @@ class BenchmarkResult:
     records: list
     controller_weights: dict = field(default_factory=dict)
     fault_log: list = field(default_factory=list)
+    tracer: object | None = None
 
     @property
     def request_count(self) -> int:
@@ -150,6 +154,7 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
                            l3_config: L3Config | None = None,
                            env: ScenarioBenchConfig | None = None,
                            faults: list | None = None,
+                           tracer=None,
                            ) -> BenchmarkResult:
     """Run one TIER-like scenario under one balancing algorithm.
 
@@ -167,6 +172,11 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
         faults: extra :class:`~repro.faults.base.Fault` schedules, merged
             with ``scenario.faults``. Fault times count from the start of
             the measured period (warm-up is prepended automatically).
+        tracer: optional :class:`~repro.tracing.recorder.MeshTracer`;
+            when given, every request of the run (warm-up included) emits
+            spans into it, and a controller-based algorithm additionally
+            records its decision audit log, joinable to the data-plane
+            spans via the ``decision_id`` attribute.
     """
     env = env or ScenarioBenchConfig()
     if isinstance(scenario, str):
@@ -175,6 +185,7 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
         # prefix of it, a longer one wraps around.
         scenario = build_scenario(scenario)
     sim, rng, mesh = _build_scenario_mesh(scenario, seed, env)
+    mesh.tracer = tracer
     store, scraper = _wire_telemetry(env)
     # The benchmark client (and its L3 instance) live in the client
     # cluster; metrics are queried from that cluster's vantage point.
@@ -192,6 +203,15 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
         request_timeout_s=env.request_timeout_s,
         outlier_ejection=env.outlier_ejection)
     mesh.register_all_telemetry(scraper)
+
+    if tracer is not None:
+        controller = getattr(balancer, "controller", None)
+        if controller is not None:
+            from repro.tracing.audit import DecisionAuditLog
+
+            audit = DecisionAuditLog(tracer, prefix=algorithm)
+            controller.audit = audit
+            tracer.audit = audit
 
     all_faults = list(scenario.faults) + list(faults or [])
     injector = None
@@ -229,7 +249,8 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
         scenario=scenario.name, algorithm=algorithm, seed=seed,
         duration_s=duration_s, records=measured,
         controller_weights=weights,
-        fault_log=list(injector.log) if injector else [])
+        fault_log=list(injector.log) if injector else [],
+        tracer=tracer)
 
 
 def run_callgraph_benchmark(build_application, app_name: str,
@@ -237,6 +258,7 @@ def run_callgraph_benchmark(build_application, app_name: str,
                             duration_s: float = 1200.0, seed: int = 1,
                             l3_config: L3Config | None = None,
                             env: ScenarioBenchConfig | None = None,
+                            tracer=None,
                             ) -> BenchmarkResult:
     """Run any call-graph application under one balancing algorithm.
 
@@ -248,6 +270,9 @@ def run_callgraph_benchmark(build_application, app_name: str,
         app_name: label recorded in the result.
         algorithm / rps / duration_s / seed / l3_config / env: as in
             :func:`run_scenario_benchmark`.
+        tracer: optional :class:`~repro.tracing.recorder.MeshTracer`;
+            every service-to-service hop of the call graph emits its own
+            trace (hops are separate proxy dispatches).
     """
     env = env or ScenarioBenchConfig()
     sim = Simulator()
@@ -255,7 +280,8 @@ def run_callgraph_benchmark(build_application, app_name: str,
     clusters = ["cluster-1", "cluster-2", "cluster-3"]
     mesh = ServiceMesh(
         sim, rng, clusters=clusters,
-        wan_link=WanLink(base_delay_s=env.wan_base_delay_s))
+        wan_link=WanLink(base_delay_s=env.wan_base_delay_s),
+        tracer=tracer)
     store, scraper = _wire_telemetry(env)
 
     def balancer_factory(service, backend_names, source_cluster):
@@ -295,7 +321,7 @@ def run_callgraph_benchmark(build_application, app_name: str,
     ]
     return BenchmarkResult(
         scenario=app_name, algorithm=algorithm, seed=seed,
-        duration_s=duration_s, records=measured)
+        duration_s=duration_s, records=measured, tracer=tracer)
 
 
 def run_hotel_benchmark(algorithm: str, rps: float = 200.0,

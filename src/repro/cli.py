@@ -15,6 +15,7 @@ import sys
 
 from repro.balancers.factory import BALANCER_NAMES
 from repro.bench.coordinator import run_hotel_benchmark, run_scenario_benchmark
+from repro.tracing import TRACE_FORMATS
 from repro.workloads.scenarios import SCENARIO_NAMES
 
 FIGURES = ("fig1", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
@@ -35,10 +36,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "run", help="run one scenario under one balancing algorithm")
     run.add_argument("--scenario", choices=SCENARIO_NAMES,
                      default="scenario-1")
-    run.add_argument("--trace", metavar="FILE", default=None,
+    run.add_argument("--scenario-file", metavar="FILE", default=None,
                      help="run a scenario loaded from a JSON trace file "
                           "instead of a built-in one")
     run.add_argument("--algorithm", choices=BALANCER_NAMES, default="l3")
+    run.add_argument("--trace", metavar="OUT", default=None,
+                     help="record per-request distributed traces and "
+                          "write them to OUT (also prints the "
+                          "critical-path latency breakdown)")
+    run.add_argument("--trace-sample", type=float, default=1.0,
+                     metavar="RATE",
+                     help="deterministic head-sampling rate for --trace "
+                          "(0..1, default 1.0)")
+    run.add_argument("--trace-format", choices=TRACE_FORMATS,
+                     default="otlp",
+                     help="--trace output format: OTLP-style JSON or "
+                          "Chrome trace events (Perfetto-loadable)")
     run.add_argument("--duration", type=float, default=120.0,
                      help="measured seconds (default 120)")
     run.add_argument("--seed", type=int, default=1)
@@ -75,6 +88,20 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="short runs (2-minute trace prefixes)")
 
     return parser
+
+
+def _export_traces(tracer, path: str, fmt: str) -> None:
+    from repro.analysis import critical_path, render_critical_path
+    from repro.tracing import export_trace
+
+    export_trace(tracer.recorder, path, fmt)
+    spans = tracer.recorder.finished_spans()
+    print(f"  wrote {len(spans)} spans "
+          f"({len(tracer.recorder.traces())} traces, "
+          f"{tracer.recorder.dropped_traces} dropped) to {path} [{fmt}]")
+    breakdown = critical_path(tracer.recorder)
+    if breakdown:
+        print(render_critical_path(breakdown))
 
 
 def _print_result(result) -> None:
@@ -178,12 +205,13 @@ def main(argv=None) -> int:
 
     if args.command == "run":
         scenario = args.scenario
-        if args.trace is not None:
+        if args.scenario_file is not None:
             from repro.workloads.traceio import load_scenario
 
-            scenario = load_scenario(args.trace)
+            scenario = load_scenario(args.scenario_file)
         faults = None
         env = None
+        tracer = None
         if args.faults is not None:
             from repro.faults import parse_fault_spec
 
@@ -196,10 +224,16 @@ def main(argv=None) -> int:
                 request_timeout_s=args.request_timeout,
                 outlier_ejection=(OutlierEjectionConfig()
                                   if args.outlier_ejection else None))
+        if args.trace is not None:
+            from repro.tracing import MeshTracer, TracingConfig
+
+            tracer = MeshTracer(TracingConfig(sample_rate=args.trace_sample))
         result = run_scenario_benchmark(
             scenario, args.algorithm, duration_s=args.duration,
-            seed=args.seed, env=env, faults=faults)
+            seed=args.seed, env=env, faults=faults, tracer=tracer)
         _print_result(result)
+        if tracer is not None:
+            _export_traces(tracer, args.trace, args.trace_format)
         return 0
 
     if args.command == "export-trace":

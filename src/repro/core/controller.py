@@ -113,6 +113,14 @@ class L3Controller:
         # Pause support (fault injection): while paused the run loop skips
         # reconciles entirely, modelling a stalled/partitioned operator.
         self.paused: bool = False
+        # Optional decision audit (duck-typed so the core stays free of
+        # tracing imports): anything with record_decision(now, samples,
+        # states, raw_weights, weights, relative_change, total_rps) and
+        # record_degraded(now, error) — see
+        # repro.tracing.audit.DecisionAuditLog. Every reconcile is
+        # reported, making each weight push joinable to the data-plane
+        # requests it routed.
+        self.audit = None
 
     def add_backend(self, name: str, now: float) -> None:
         """Track a backend added to the TrafficSplit at runtime."""
@@ -159,7 +167,7 @@ class L3Controller:
         except Interrupted:
             raise
         except Exception as exc:  # noqa: BLE001 - degraded mode by design
-            return self._degrade(exc)
+            return self._degrade(exc, now)
 
         total_rps = 0.0
         for name, state in self.backends.items():
@@ -210,19 +218,27 @@ class L3Controller:
         except Interrupted:
             raise
         except Exception as exc:  # noqa: BLE001 - degraded mode by design
-            return self._degrade(exc)
+            return self._degrade(exc, now)
 
         self.last_raw_weights = raw_weights
         self.last_weights = weights
         self.last_total_rps = total_rps
         self.reconcile_count += 1
         self.last_error = None
+        if self.audit is not None:
+            self.audit.record_decision(
+                now=now, samples=samples, states=self.backends,
+                raw_weights=raw_weights, weights=weights,
+                relative_change=self.last_relative_change,
+                total_rps=total_rps)
         return weights
 
-    def _degrade(self, exc: Exception) -> dict[str, int]:
+    def _degrade(self, exc: Exception, now: float) -> dict[str, int]:
         """Record a failed reconcile and hold last-known-good weights."""
         self.degraded_reconciles += 1
         self.last_error = f"{type(exc).__name__}: {exc}"
+        if self.audit is not None:
+            self.audit.record_degraded(now, self.last_error)
         return dict(self.last_weights)
 
     def _dynamic_penalties(self, now: float) -> dict | None:

@@ -24,6 +24,7 @@ RELATIVE_CHANGE = "relative_change"
 RECONCILE_COUNT = "reconcile_count"
 TOTAL_RPS_EWMA = "total_rps_ewma"
 DEGRADED_RECONCILES = "degraded_reconciles"
+AUDIT_DECISIONS = "audit_decisions"
 
 
 class ControllerIntrospection:
@@ -72,6 +73,12 @@ class ControllerIntrospection:
         scraper.register_gauge(
             self.prefix, DEGRADED_RECONCILES,
             lambda: controller.degraded_reconciles)
+        # Audit depth (0 until a DecisionAuditLog is attached): lets a
+        # dashboard confirm the decision log is actually recording.
+        scraper.register_gauge(
+            self.prefix, AUDIT_DECISIONS,
+            lambda: len(controller.audit.decisions)
+            if controller.audit is not None else 0)
 
     def weight_series(self, store, backend: str, start: float,
                       end: float) -> list:

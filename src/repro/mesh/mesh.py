@@ -27,9 +27,13 @@ class ServiceMesh:
     """
 
     def __init__(self, sim: Simulator, rng_registry: RngRegistry, clusters,
-                 wan_link: WanLink | None = None):
+                 wan_link: WanLink | None = None, tracer=None):
         self.sim = sim
         self.rng = rng_registry
+        # Optional distributed tracing: a repro.tracing.MeshTracer makes
+        # every proxy emit per-request spans. None (the default) keeps the
+        # data plane untraced — one attribute check per request.
+        self.tracer = tracer
         self.clusters: dict[str, Cluster] = {}
         for entry in clusters:
             cluster = entry if isinstance(entry, Cluster) else Cluster(entry)

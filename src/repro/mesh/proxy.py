@@ -17,6 +17,14 @@ configuration):
   attempt in telemetry, so L3's success-rate signal sees the outage.
 * ``outlier_ejection`` — consecutive-failure circuit breaking with
   half-open probing (see :mod:`repro.mesh.ejection`).
+
+When the owning mesh carries a tracer (``mesh.tracer``, a
+:class:`~repro.tracing.recorder.MeshTracer`), the proxy emits one root
+``request`` span per dispatch and one ``attempt`` span per try, with the
+WAN legs, server queue/execution, retry back-offs, deadline expiries and
+outlier-ejection skips recorded as children — the span vocabulary of
+:mod:`repro.tracing.model`. Without a tracer (the default) the only cost
+is one ``None`` check per request.
 """
 
 from __future__ import annotations
@@ -30,6 +38,9 @@ from repro.mesh.cluster import split_backend_name
 from repro.mesh.ejection import OutlierEjectionConfig, OutlierEjector
 from repro.mesh.request import RequestRecord
 from repro.telemetry.metrics import BackendTelemetry
+# Span name/kind vocabulary only — repro.tracing.model has no mesh
+# dependencies, so the data plane stays import-cycle free.
+from repro.tracing import model as trace_model
 
 
 class ClientProxy:
@@ -108,18 +119,45 @@ class ClientProxy:
         start = sim.now
         if intended_start_s is None:
             intended_start_s = start
+        request_id = next(self._request_ids)
+
+        tracer = self.mesh.tracer
+        ctx = tracer.trace() if tracer is not None else None
+        root = None
+        if ctx is not None:
+            root = ctx.start(
+                trace_model.REQUEST, trace_model.CLIENT, intended_start_s,
+                attributes={
+                    "request_id": request_id,
+                    "service": self.service,
+                    "source_cluster": self.source_cluster,
+                })
+            ctx = ctx.child(root)
 
         attempts = 0
         while True:
             attempts += 1
-            success, backend_name = yield from self._attempt(body_factory)
+            success, backend_name = yield from self._attempt(
+                body_factory, ctx, attempts)
             if success or attempts > self.max_retries:
                 break
             if self.retry_backoff_s > 0:
-                yield sim.timeout(self.retry_backoff_s)
+                if ctx is not None:
+                    backoff = ctx.start(trace_model.RETRY_BACKOFF,
+                                        trace_model.CLIENT, sim.now)
+                    yield sim.timeout(self.retry_backoff_s)
+                    ctx.end(backoff, sim.now)
+                else:
+                    yield sim.timeout(self.retry_backoff_s)
+
+        if root is not None:
+            root.attributes["attempts"] = attempts
+            root.attributes["backend"] = backend_name
+            ctx.end(root, sim.now,
+                    status=trace_model.OK if success else trace_model.ERROR)
 
         return RequestRecord(
-            request_id=next(self._request_ids),
+            request_id=request_id,
             service=self.service,
             source_cluster=self.source_cluster,
             backend=backend_name,
@@ -130,17 +168,19 @@ class ClientProxy:
             attempts=attempts,
         )
 
-    def _attempt(self, body_factory):
+    def _attempt(self, body_factory, ctx=None, attempt_no: int = 1):
         """One request attempt; returns ``(success, backend_name)``.
 
         Each attempt is a fresh balancer decision and is individually
         recorded in the data-plane telemetry — exactly what a per-try
         proxy sees, and what makes retried failures visible to L3's
-        success-rate signal.
+        success-rate signal. With tracing on, each attempt is one span
+        carrying the chosen backend, any ejection skips, and the
+        controller decision id that produced the routing weights.
         """
         sim = self.mesh.sim
         start = sim.now
-        backend_name = self._pick_backend(start)
+        backend_name, ejection_skips = self._pick_backend(start)
         telemetry = self.telemetry.get(backend_name)
         if telemetry is None:
             raise MeshError(
@@ -149,94 +189,139 @@ class ClientProxy:
         _service, target_cluster = split_backend_name(backend_name)
         backend = self.mesh.deployment(self.service).backend_in(target_cluster)
 
+        span = None
+        if ctx is not None:
+            attributes = {"backend": backend_name, "attempt": attempt_no}
+            if ejection_skips:
+                attributes["ejection.skips"] = ejection_skips
+            audit = ctx.tracer.audit
+            if audit is not None:
+                attributes["decision_id"] = audit.last_decision_id
+            span = ctx.start(trace_model.ATTEMPT, trace_model.CLIENT,
+                             start, attributes=attributes)
+            ctx = ctx.child(span)
+
         telemetry.on_request_sent()
         self.balancer.on_request_sent(backend_name, start)
 
         if self.forward_overhead_s > 0:
             yield sim.timeout(self.forward_overhead_s)
 
+        timed_out = False
         if self.request_timeout_s is None:
             success = yield from self._forward(
-                backend, target_cluster, body_factory)
+                backend, target_cluster, body_factory, ctx)
         else:
-            success = yield from self._forward_with_deadline(
-                backend, backend_name, target_cluster, body_factory, start)
+            success, timed_out = yield from self._forward_with_deadline(
+                backend, backend_name, target_cluster, body_factory, start,
+                ctx)
 
         latency = sim.now - start
         telemetry.on_response(latency, success)
         self.balancer.on_response(backend_name, sim.now, latency, success)
         if self.ejector is not None:
             self.ejector.on_response(backend_name, sim.now, success)
+        if span is not None:
+            if timed_out:
+                status = trace_model.TIMEOUT
+            else:
+                status = trace_model.OK if success else trace_model.ERROR
+            ctx.end(span, sim.now, status=status)
         return success, backend_name
 
-    def _pick_backend(self, now: float) -> str:
+    def _pick_backend(self, now: float) -> tuple[str, int]:
         """Balancer pick, filtered through the outlier ejector if enabled.
 
         When the pick is ejected the balancer is asked again a bounded
         number of times; if every draw is ejected the proxy *fails open*
         and sends anyway — blackholing all traffic on the say-so of a local
         breaker would be worse than probing a possibly-dead backend.
+
+        Returns ``(backend_name, ejection_skips)`` — the number of
+        ejected draws that were passed over before this pick (surfaced
+        on the attempt span so traces explain "why not the obvious
+        backend").
         """
         backend_name = self.balancer.pick(self.rng, now)
         if self.ejector is None or self.ejector.admit(backend_name, now):
-            return backend_name
+            return backend_name, 0
+        skips = 1
         for _ in range(3 * len(self.telemetry)):
             candidate = self.balancer.pick(self.rng, now)
             if self.ejector.admit(candidate, now):
-                return candidate
-        return backend_name
+                return candidate, skips
+            skips += 1
+        return backend_name, skips
 
-    def _forward(self, backend, target_cluster: str, body_factory):
-        """The remote leg: network out, replica, network back.
+    def _wan_hop(self, ctx, name: str, src: str, dst: str):
+        """One network leg: sample the delay, optionally traced.
 
-        An infinite network delay (partition) parks the request on a
-        never-firing event — without a deadline the caller hangs, which is
-        exactly what a blackholed TCP connection does.
+        An infinite delay (partition) parks the request on a never-firing
+        event — without a deadline the caller hangs, which is exactly what
+        a blackholed TCP connection does (the open span is the trace's
+        record of the hang).
         """
         sim = self.mesh.sim
-        outbound = self.mesh.network.delay(
-            self.source_cluster, target_cluster, self.rng, sim.now)
-        if math.isinf(outbound):
+        delay = self.mesh.network.delay(src, dst, self.rng, sim.now)
+        span = None
+        if ctx is not None:
+            span = ctx.start(name, trace_model.NETWORK, sim.now,
+                             attributes={"src": src, "dst": dst,
+                                         "link": f"{src}->{dst}"})
+        if math.isinf(delay):
+            if span is not None:
+                span.attributes["partitioned"] = True
             yield sim.event()
             return False  # pragma: no cover - the event never fires
-        if outbound > 0:
-            yield sim.timeout(outbound)
+        if delay > 0:
+            yield sim.timeout(delay)
+        if span is not None:
+            ctx.end(span, sim.now)
+        return True
+
+    def _forward(self, backend, target_cluster: str, body_factory,
+                 ctx=None):
+        """The remote leg: network out, replica, network back."""
+        sim = self.mesh.sim
+        arrived = yield from self._wan_hop(
+            ctx, trace_model.WAN_SEND, self.source_cluster, target_cluster)
+        if not arrived:
+            return False  # pragma: no cover - the event never fires
 
         body = body_factory(target_cluster) if body_factory else None
-        success = yield from backend.handle(body)
+        success = yield from backend.handle(body, trace=ctx)
 
-        inbound = self.mesh.network.delay(
-            target_cluster, self.source_cluster, self.rng, sim.now)
-        if math.isinf(inbound):
-            yield sim.event()
+        returned = yield from self._wan_hop(
+            ctx, trace_model.WAN_RECV, target_cluster, self.source_cluster)
+        if not returned:
             return False  # pragma: no cover - the event never fires
-        if inbound > 0:
-            yield sim.timeout(inbound)
         return success
 
     def _forward_with_deadline(self, backend, backend_name: str,
                                target_cluster: str, body_factory,
-                               start: float):
+                               start: float, ctx=None):
         """Race the remote leg against the per-attempt deadline.
 
         On timeout the in-flight call is abandoned, not cancelled: whatever
         the server was doing keeps happening (and keeps occupying the
         replica), but this client stops waiting — the attempt is a failure.
+        Returns ``(success, timed_out)``.
         """
         sim = self.mesh.sim
         remaining = self.request_timeout_s - (sim.now - start)
         if remaining <= 0:
             self.timeouts += 1
-            return False
+            return False, True
         call = sim.spawn(
-            self._forward(backend, target_cluster, body_factory),
+            self._forward(backend, target_cluster, body_factory, ctx),
             name=f"fwd/{backend_name}")
         deadline = sim.timeout(remaining)
         yield sim.any_of([call, deadline])
         if call.processed and call.ok:
-            return bool(call.value)
+            return bool(call.value), False
         # The deadline won; the abandoned call's eventual failure (if any)
-        # must not abort the run.
+        # must not abort the run. Its spans stay open (the export skips
+        # them) — the attempt span's "timeout" status is the record.
         call.defused = True
         self.timeouts += 1
-        return False
+        return False, True

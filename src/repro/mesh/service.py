@@ -91,10 +91,15 @@ class Backend:
         """Requests executing or queued across all replicas."""
         return sum(replica.inflight for replica in self.replicas)
 
-    def handle(self, body=None):
-        """Serve one request on the next replica; returns success bool."""
+    def handle(self, body=None, trace=None):
+        """Serve one request on the next replica; returns success bool.
+
+        ``trace`` is an optional :class:`~repro.tracing.recorder.
+        TraceContext` (parented at the client's attempt span) under which
+        the replica records its queue and execution spans.
+        """
         replica = self.pick_replica()
-        success = yield from replica.handle(body)
+        success = yield from replica.handle(body, trace=trace)
         return success
 
 

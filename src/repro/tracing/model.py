@@ -1,0 +1,99 @@
+"""The span model of the simulated mesh's distributed tracing.
+
+One :class:`TraceSpan` records one timed segment of a request's journey,
+mirroring the OpenTelemetry span shape (trace id / span id / parent id,
+kind, wall-clock boundaries, free-form attributes, a status). The span
+*names* are a closed vocabulary — each names one leg of the paper's
+request path (client proxy send → WAN link → server proxy → replica queue
+→ execution → response), plus the controller's reconcile decisions:
+
+===================  ====================================================
+``request``          root client span: one per dispatched request,
+                     covering intended start to response (what the
+                     paper's client-side proxy perceives).
+``attempt``          one per try (retries create several); carries the
+                     chosen backend, the attempt number, ejection skips
+                     and the controller decision that routed it.
+``retry.backoff``    the fixed client back-off between attempts.
+``wan.send``         outbound network transit (client → server cluster).
+``wan.recv``         inbound network transit (response coming back).
+``server.queue``     waiting for a replica concurrency slot (FIFO queue).
+``server.exec``      the replica actually executing (service time plus
+                     any call-graph body).
+``l3.reconcile``     one per controller reconcile — the decision audit
+                     log (see :mod:`repro.tracing.audit`).
+===================  ====================================================
+
+Span kinds follow OpenTelemetry (``client`` / ``server`` / ``internal``)
+with one addition: ``network``, the explicit WAN-delay spans §5.1 of the
+paper excludes when deriving execution latency from production traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Span kinds.
+CLIENT = "client"
+SERVER = "server"
+INTERNAL = "internal"
+NETWORK = "network"
+
+SPAN_KINDS = (CLIENT, SERVER, INTERNAL, NETWORK)
+
+# Span names (the request-path vocabulary above).
+REQUEST = "request"
+ATTEMPT = "attempt"
+RETRY_BACKOFF = "retry.backoff"
+WAN_SEND = "wan.send"
+WAN_RECV = "wan.recv"
+SERVER_QUEUE = "server.queue"
+SERVER_EXEC = "server.exec"
+RECONCILE = "l3.reconcile"
+
+# Span statuses.
+OK = "ok"
+ERROR = "error"
+TIMEOUT = "timeout"
+
+
+@dataclass
+class TraceSpan:
+    """One recorded span.
+
+    Attributes:
+        trace_id: integer grouping all spans of one request (or one
+            reconcile decision).
+        span_id: unique within the run.
+        parent_id: the parent span's id, or ``None`` for a root.
+        name: one of the span-name vocabulary above.
+        kind: one of :data:`SPAN_KINDS`.
+        start_s: simulation time the span opened.
+        end_s: simulation time the span closed; ``None`` while still
+            open (exports skip open spans — e.g. a WAN leg abandoned by
+            a client deadline, still "in flight" on a dead backend).
+        attributes: free-form key → value annotations.
+        status: ``"ok"``, ``"error"`` or ``"timeout"``.
+    """
+
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+    name: str
+    kind: str
+    start_s: float
+    end_s: float | None = None
+    attributes: dict = field(default_factory=dict)
+    status: str = OK
+
+    @property
+    def finished(self) -> bool:
+        """Whether the span has been closed."""
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        """Span duration; raises if the span is still open."""
+        if self.end_s is None:
+            raise ValueError(f"span {self.span_id} ({self.name}) is open")
+        return self.end_s - self.start_s

@@ -1,0 +1,195 @@
+"""Span recording: bounded storage, deterministic head sampling, contexts.
+
+The paper's controller "exposes its internal state through Prometheus or
+OpenTelemetry metrics" (§4) and its evaluation scenarios were *built from*
+distributed-tracing spans (§5.1). This module is the recording side of
+that loop for the simulated mesh: a :class:`MeshTracer` attached to a
+:class:`~repro.mesh.mesh.ServiceMesh` makes every proxy emit per-request
+spans into a bounded :class:`SpanRecorder`.
+
+Design constraints, in order:
+
+* **Off by default.** A mesh without a tracer pays one ``None`` check per
+  request — paper fidelity and hot-path speed are untouched.
+* **Deterministic.** Head sampling is a pure function of the trace id
+  (a Knuth multiplicative hash), not an RNG draw: the same seed produces
+  byte-identical exported traces run after run, and enabling tracing
+  never perturbs the simulation's random streams.
+* **Bounded.** The recorder stops accepting new traces beyond
+  ``max_spans`` (dropping whole traces, never partial ones) so an
+  arbitrarily long run cannot exhaust memory; ``dropped_traces`` counts
+  what was lost.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import ConfigError
+from repro.tracing.model import OK, TraceSpan
+
+# Knuth's multiplicative hash constant (2^32 / phi); spreads sequential
+# trace ids uniformly over [0, 2^32) for the sampling decision.
+_HASH_MULTIPLIER = 2654435761
+_HASH_SPACE = 1 << 32
+
+
+def sample_decision(trace_id: int, sample_rate: float) -> bool:
+    """Deterministic head-sampling decision for one trace id."""
+    if sample_rate >= 1.0:
+        return True
+    if sample_rate <= 0.0:
+        return False
+    bucket = (trace_id * _HASH_MULTIPLIER) % _HASH_SPACE
+    return bucket < sample_rate * _HASH_SPACE
+
+
+class TracingConfig:
+    """Tunables of one tracer.
+
+    Args:
+        sample_rate: fraction of traces recorded (head sampling, decided
+            once per request at the root span). 1.0 records everything.
+        max_spans: hard bound on stored spans; once a new trace would
+            exceed it, that trace (and all later ones) is dropped whole.
+    """
+
+    def __init__(self, sample_rate: float = 1.0, max_spans: int = 1_000_000):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ConfigError(
+                f"sample rate must be in [0, 1]: {sample_rate}")
+        if max_spans < 1:
+            raise ConfigError(f"max spans must be >= 1: {max_spans}")
+        self.sample_rate = sample_rate
+        self.max_spans = max_spans
+
+
+class SpanRecorder:
+    """Bounded in-memory span store.
+
+    Spans are appended open (at ``start``) and mutated closed (at
+    ``finish``); exporters read :attr:`spans` and skip open ones.
+    """
+
+    def __init__(self, max_spans: int = 1_000_000):
+        self.max_spans = max_spans
+        self.spans: list[TraceSpan] = []
+        self.dropped_traces = 0
+        # Traces admitted while under the bound keep recording their
+        # remaining spans even if the bound is crossed mid-trace, so no
+        # exported trace is ever truncated halfway.
+        self._admitted: set[int] = set()
+
+    def admit(self, trace_id: int) -> bool:
+        """Whether a new trace may start recording (capacity check)."""
+        if len(self.spans) >= self.max_spans:
+            self.dropped_traces += 1
+            return False
+        self._admitted.add(trace_id)
+        return True
+
+    def add(self, span: TraceSpan) -> TraceSpan:
+        """Append one open span (the trace must have been admitted)."""
+        self.spans.append(span)
+        return span
+
+    def finished_spans(self) -> list[TraceSpan]:
+        """All closed spans, in recording order."""
+        return [span for span in self.spans if span.finished]
+
+    def traces(self) -> dict[int, list[TraceSpan]]:
+        """Closed spans grouped by trace id, insertion-ordered."""
+        grouped: dict[int, list[TraceSpan]] = {}
+        for span in self.spans:
+            if span.finished:
+                grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class TraceContext:
+    """The propagated per-request tracing state.
+
+    Carried along the request path (dispatch → attempt → WAN → replica);
+    crossing a layer that starts child work derives a new context with
+    :meth:`child` so spans opened there parent correctly even when many
+    requests interleave inside the simulator.
+    """
+
+    __slots__ = ("tracer", "trace_id", "parent")
+
+    def __init__(self, tracer: MeshTracer, trace_id: int,
+                 parent: TraceSpan | None = None):
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.parent = parent
+
+    def child(self, parent: TraceSpan) -> TraceContext:
+        """A context whose new spans parent under ``parent``."""
+        return TraceContext(self.tracer, self.trace_id, parent)
+
+    def start(self, name: str, kind: str, now: float,
+              parent: TraceSpan | None = None,
+              attributes: dict | None = None) -> TraceSpan:
+        """Open a span at ``now`` (parent defaults to the context's)."""
+        span = TraceSpan(
+            trace_id=self.trace_id,
+            span_id=self.tracer.next_span_id(),
+            parent_id=(parent or self.parent).span_id
+            if (parent or self.parent) is not None else None,
+            name=name, kind=kind, start_s=now,
+            attributes=attributes if attributes is not None else {})
+        return self.tracer.recorder.add(span)
+
+    def end(self, span: TraceSpan, now: float, status: str = OK) -> None:
+        """Close ``span`` at ``now`` with the given status."""
+        span.end_s = now
+        span.status = status
+
+
+class MeshTracer:
+    """The per-run tracer: id allocation, sampling, the recorder.
+
+    Attach to a mesh with ``mesh.tracer = MeshTracer(config)`` (or pass
+    ``tracer=`` to the benchmark coordinator); proxies consult it on
+    every dispatch. ``audit`` optionally points at the controller's
+    :class:`~repro.tracing.audit.DecisionAuditLog` so data-plane attempt
+    spans can stamp the decision id that routed them.
+    """
+
+    def __init__(self, config: TracingConfig | None = None):
+        self.config = config or TracingConfig()
+        self.recorder = SpanRecorder(self.config.max_spans)
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self.audit = None
+
+    def next_span_id(self) -> int:
+        return next(self._span_ids)
+
+    def trace(self) -> TraceContext | None:
+        """Begin a new trace, or ``None`` if sampled out / over capacity.
+
+        Trace ids are consumed even for unsampled requests, so the
+        sampling decision for request *n* never depends on the sampling
+        rate's history — rate 0.1 records exactly the traces whose ids
+        it would pick out of a rate-1.0 run.
+        """
+        trace_id = next(self._trace_ids)
+        if not sample_decision(trace_id, self.config.sample_rate):
+            return None
+        if not self.recorder.admit(trace_id):
+            return None
+        return TraceContext(self, trace_id)
+
+    def decision_trace(self) -> TraceContext:
+        """A context for a controller decision span (never sampled out).
+
+        Reconciles happen a few times a minute, so the audit log is tiny
+        and useless with holes: decision spans bypass both head sampling
+        and the capacity bound (the reconcile cadence itself bounds
+        them at one span per ``reconcile_interval_s``).
+        """
+        return TraceContext(self, next(self._trace_ids))

@@ -16,7 +16,7 @@ stateful backends per cluster.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.balancers.static_weights import StaticWeightBalancer
 from repro.errors import ConfigError, MeshError

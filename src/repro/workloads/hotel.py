@@ -145,8 +145,7 @@ def hotel_cluster_noise(clusters, duration_s: float = 1800.0,
             pulse_lo=4.0, pulse_hi=9.0)
         # The median pulses at the same instants, much more mildly.
         median_mult = PiecewiseSeries(
-            [(t, 1.0 + (v - 1.0) * 0.30)
-             for t, v in zip(p99_mult._times, p99_mult._values)],
+            [(t, 1.0 + (v - 1.0) * 0.30) for t, v in p99_mult.points()],
             period_s=p99_mult.period_s)
         noise[cluster] = (median_mult, p99_mult)
     return noise

@@ -71,6 +71,15 @@ class PiecewiseSeries:
         offset = t - t_last if t >= t_last else (self.period_s - t_last) + t
         return v_last + (v_first - v_last) * offset / gap
 
+    def points(self) -> list[tuple[float, float]]:
+        """The control points as ``(time_s, value)`` pairs, time-sorted.
+
+        The public accessor for serialisers and exporters (trace I/O,
+        span exporters) — callers must not reach into the internal
+        parallel arrays.
+        """
+        return list(zip(self._times, self._values))
+
     def max_value(self) -> float:
         """Upper bound of the series (max of control values)."""
         return max(self._values)
@@ -119,10 +128,7 @@ class BackendProfile:
 
 def scaled_series(multiplier: PiecewiseSeries, base: float) -> PiecewiseSeries:
     """``base * multiplier(t)`` as a new series (same points and period)."""
-    points = [
-        (t, v * base)
-        for t, v in zip(multiplier._times, multiplier._values)
-    ]
+    points = [(t, v * base) for t, v in multiplier.points()]
     return PiecewiseSeries(points, period_s=multiplier.period_s)
 
 

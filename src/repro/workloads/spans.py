@@ -99,6 +99,17 @@ def execution_latencies(spans) -> list:
     return out
 
 
+def _bucket_midpoint(index: int, bucket_s: float,
+                     duration_s: float) -> float:
+    """Midpoint of a bucket, honouring a truncated final bucket.
+
+    The last bucket may be cut short by ``duration_s``; its control
+    point must stay inside the series period or
+    :class:`PiecewiseSeries` rejects it.
+    """
+    return (index * bucket_s + min((index + 1) * bucket_s, duration_s)) / 2.0
+
+
 def _bucketed_series(samples, duration_s: float, bucket_s: float,
                      quantile: float) -> PiecewiseSeries:
     """Per-bucket quantile of (start, value) samples, as a series.
@@ -106,11 +117,14 @@ def _bucketed_series(samples, duration_s: float, bucket_s: float,
     Empty buckets inherit the previous bucket's value (a gap in traffic
     does not mean the service got faster).
     """
+    n_buckets = max(int(math.ceil(duration_s / bucket_s)), 1)
     buckets = defaultdict(list)
     for start, value in samples:
-        index = min(int(start / bucket_s), int(duration_s / bucket_s))
+        # Clamp to the last *real* bucket: spans at (or past) duration_s
+        # would otherwise land one bucket beyond the series — a control
+        # point outside the period, which PiecewiseSeries rejects.
+        index = min(int(start / bucket_s), n_buckets - 1)
         buckets[index].append(value)
-    n_buckets = max(int(math.ceil(duration_s / bucket_s)), 1)
     points = []
     previous = None
     for index in range(n_buckets):
@@ -118,7 +132,8 @@ def _bucketed_series(samples, duration_s: float, bucket_s: float,
         if values:
             previous = exact_percentile(values, quantile)
         if previous is not None:
-            points.append((index * bucket_s + bucket_s / 2.0, previous))
+            points.append((_bucket_midpoint(index, bucket_s, duration_s),
+                           previous))
     if not points:
         raise ConfigError("no samples to build a series from")
     return PiecewiseSeries(points, period_s=duration_s)
@@ -171,11 +186,12 @@ def scenario_from_spans(spans, service: str, duration_s: float,
         (span.start_s, 1.0) for span in spans
         if span.kind == SERVER and span.service == service
     ]
+    last_bucket = max(int(math.ceil(duration_s / bucket_s)), 1) - 1
     counts = defaultdict(int)
     for start, _one in arrivals:
-        counts[min(int(start / bucket_s), int(duration_s / bucket_s))] += 1
+        counts[min(int(start / bucket_s), last_bucket)] += 1
     rps_points = [
-        (index * bucket_s + bucket_s / 2.0, count / bucket_s)
+        (_bucket_midpoint(index, bucket_s, duration_s), count / bucket_s)
         for index, count in sorted(counts.items())
     ]
     return Scenario(

@@ -20,9 +20,10 @@ FORMAT_VERSION = 1
 
 
 def _series_to_dict(series: PiecewiseSeries) -> dict:
+    points = series.points()
     return {
-        "times": list(series._times),
-        "values": list(series._values),
+        "times": [t for t, _v in points],
+        "values": [v for _t, v in points],
         "period_s": series.period_s,
     }
 

@@ -1,0 +1,147 @@
+"""The per-backend critical-path latency breakdown."""
+
+import pytest
+
+from repro.analysis import critical_path, render_critical_path
+from repro.tracing import MeshTracer
+from repro.tracing import model
+
+
+def _simple_request(tracer, *, backend="api/cluster-2", exec_s=0.100,
+                    queue_s=0.010, wan_s=0.050, attempts=1,
+                    backoff_s=0.0, start=0.0):
+    """Record one synthetic request trace with the given leg durations.
+
+    With ``attempts > 1`` every attempt but the last fails instantly
+    after ``exec_s`` and a back-off of ``backoff_s`` follows it.
+    """
+    ctx = tracer.trace()
+    now = start
+    root = ctx.start(model.REQUEST, model.CLIENT, now,
+                     attributes={"service": "api"})
+    rctx = ctx.child(root)
+    for attempt_no in range(1, attempts + 1):
+        final = attempt_no == attempts
+        attempt = rctx.start(model.ATTEMPT, model.CLIENT, now,
+                             attributes={"backend": backend,
+                                         "attempt": attempt_no})
+        actx = rctx.child(attempt)
+        send = actx.start(model.WAN_SEND, model.NETWORK, now)
+        actx.end(send, now + wan_s / 2)
+        now += wan_s / 2
+        queue = actx.start(model.SERVER_QUEUE, model.SERVER, now)
+        actx.end(queue, now + queue_s)
+        now += queue_s
+        execute = actx.start(model.SERVER_EXEC, model.SERVER, now)
+        actx.end(execute, now + exec_s,
+                 status=model.OK if final else model.ERROR)
+        now += exec_s
+        recv = actx.start(model.WAN_RECV, model.NETWORK, now)
+        actx.end(recv, now + wan_s / 2)
+        now += wan_s / 2
+        rctx.end(attempt, now, status=model.OK if final else model.ERROR)
+        if not final and backoff_s > 0:
+            backoff = rctx.start(model.RETRY_BACKOFF, model.INTERNAL, now)
+            rctx.end(backoff, now + backoff_s)
+            now += backoff_s
+    ctx.end(root, now)
+    root.attributes["backend"] = backend
+    root.attributes["attempts"] = attempts
+    return now - start
+
+
+class TestCriticalPath:
+    def test_single_attempt_decomposition(self):
+        tracer = MeshTracer()
+        total = _simple_request(tracer)
+        breakdown = critical_path(tracer.recorder)
+        row = breakdown["api/cluster-2"]
+        assert row.requests == 1
+        assert row.attempts == 1
+        assert row.mean_attempts == 1.0
+        assert row.total_s == pytest.approx(total)
+        assert row.exec_s == pytest.approx(0.100)
+        assert row.queue_s == pytest.approx(0.010)
+        assert row.wan_s == pytest.approx(0.050)
+        assert row.retry_s == 0.0
+        assert row.other_s == pytest.approx(0.0, abs=1e-9)
+        # Shares cover the whole client-perceived latency.
+        shares = sum(row.share(part) for part in
+                     (row.exec_s, row.queue_s, row.wan_s, row.retry_s,
+                      row.other_s))
+        assert shares == pytest.approx(1.0)
+
+    def test_retries_attributed_to_retry_component(self):
+        tracer = MeshTracer()
+        _simple_request(tracer, attempts=3, backoff_s=0.020)
+        row = critical_path(tracer.recorder)["api/cluster-2"]
+        assert row.attempts == 3
+        # Two failed attempts (0.160 each) + two back-offs (0.020 each).
+        assert row.retry_s == pytest.approx(2 * 0.160 + 2 * 0.020)
+        # Final-attempt legs are still split out individually.
+        assert row.exec_s == pytest.approx(0.100)
+        assert row.wan_s == pytest.approx(0.050)
+
+    def test_aggregates_per_backend(self):
+        tracer = MeshTracer()
+        _simple_request(tracer, backend="api/cluster-1", exec_s=0.020)
+        _simple_request(tracer, backend="api/cluster-1", exec_s=0.040,
+                        start=5.0)
+        _simple_request(tracer, backend="api/cluster-2", start=9.0)
+        breakdown = critical_path(tracer.recorder)
+        assert breakdown["api/cluster-1"].requests == 2
+        assert breakdown["api/cluster-1"].exec_s == pytest.approx(0.060)
+        assert breakdown["api/cluster-2"].requests == 1
+
+    def test_abandoned_leg_clipped_to_attempt_window(self):
+        # A deadline-abandoned exec span may close long after the client
+        # gave up (blackholed replica released on fault revert); only the
+        # overlap with the attempt counts, so no share can exceed 100 %.
+        tracer = MeshTracer()
+        ctx = tracer.trace()
+        root = ctx.start(model.REQUEST, model.CLIENT, 0.0,
+                         attributes={"backend": "api/cluster-2",
+                                     "attempts": 1})
+        rctx = ctx.child(root)
+        attempt = rctx.start(model.ATTEMPT, model.CLIENT, 0.0,
+                             attributes={"backend": "api/cluster-2"})
+        actx = rctx.child(attempt)
+        execute = actx.start(model.SERVER_EXEC, model.SERVER, 0.2)
+        rctx.end(attempt, 1.0, status=model.TIMEOUT)  # 1 s deadline fires
+        ctx.end(root, 1.0, status=model.ERROR)
+        actx.end(execute, 20.0)  # parked request releases much later
+        row = critical_path(tracer.recorder)["api/cluster-2"]
+        assert row.total_s == pytest.approx(1.0)
+        assert row.exec_s == pytest.approx(0.8)  # 0.2..1.0 only
+        assert row.share(row.exec_s) <= 1.0
+
+    def test_skips_unfinished_and_backendless_traces(self):
+        tracer = MeshTracer()
+        ctx = tracer.trace()
+        ctx.start(model.REQUEST, model.CLIENT, 0.0)  # never finished
+        other = tracer.trace()
+        span = other.start(model.REQUEST, model.CLIENT, 0.0)
+        other.end(span, 1.0)  # finished but no backend attribute
+        assert critical_path(tracer.recorder) == {}
+
+    def test_accepts_plain_span_iterables(self):
+        tracer = MeshTracer()
+        _simple_request(tracer)
+        from_list = critical_path(list(tracer.recorder.spans))
+        from_recorder = critical_path(tracer.recorder)
+        assert from_list.keys() == from_recorder.keys()
+
+
+class TestRender:
+    def test_renders_table_with_attempt_column(self):
+        tracer = MeshTracer()
+        _simple_request(tracer, attempts=2, backoff_s=0.010)
+        text = render_critical_path(critical_path(tracer.recorder))
+        assert "critical path" in text
+        assert "attempts" in text
+        assert "api/cluster-2" in text
+        assert "2.00" in text  # mean attempts
+
+    def test_empty_breakdown_rejected(self):
+        with pytest.raises(ValueError):
+            render_critical_path({})

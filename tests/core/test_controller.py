@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.config import L3Config
 from repro.core.controller import L3Controller, MetricSample
-from repro.core.weighting import WeightingConfig
 
 
 class FakeSource:

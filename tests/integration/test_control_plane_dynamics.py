@@ -7,7 +7,6 @@ These pin down the §4 behaviours that only show up when the whole loop
 import pytest
 
 from repro.balancers.l3 import L3Balancer
-from repro.balancers.static_weights import StaticWeightBalancer
 from repro.core.config import L3Config
 from repro.mesh.mesh import ServiceMesh
 from repro.mesh.network import WanLink

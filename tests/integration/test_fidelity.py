@@ -5,8 +5,6 @@ actually *measures* — the reproduction is only meaningful if the simulated
 data plane faithfully expresses the trace profiles the scenarios encode.
 """
 
-import statistics
-
 import pytest
 
 from repro.analysis.stats import latency_timeline, rps_timeline

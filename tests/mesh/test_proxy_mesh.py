@@ -7,8 +7,6 @@ from repro.balancers.static_weights import StaticWeightBalancer
 from repro.errors import MeshError
 from repro.mesh.mesh import ServiceMesh
 from repro.mesh.network import WanLink
-from repro.sim.engine import Simulator
-from repro.sim.rng import RngRegistry
 from repro.telemetry.scraper import Scraper
 from repro.telemetry.timeseries import TimeSeriesStore
 from repro.workloads.profiles import constant_backend_profile

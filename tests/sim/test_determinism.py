@@ -1,7 +1,5 @@
 """Determinism and stress tests for the simulation kernel."""
 
-import random
-
 from repro.sim.engine import Simulator
 from repro.sim.resources import Server
 from repro.sim.rng import RngRegistry

@@ -1,7 +1,6 @@
 """Tests for deterministic RNG streams and log-normal helpers."""
 
 import math
-import statistics
 
 import pytest
 

@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.telemetry.metrics import BackendTelemetry
 from repro.telemetry.query import PromMetricsSource
 from repro.telemetry.scraper import Scraper

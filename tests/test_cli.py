@@ -73,14 +73,42 @@ class TestHotel:
 
 
 class TestTraceCommands:
-    def test_export_and_run_trace(self, tmp_path, capsys):
+    def test_export_and_run_scenario_file(self, tmp_path, capsys):
         trace = tmp_path / "s5.json"
         assert main(["export-trace", "scenario-5", str(trace)]) == 0
         assert trace.exists()
-        code = main(["run", "--trace", str(trace), "--algorithm",
+        code = main(["run", "--scenario-file", str(trace), "--algorithm",
                      "round-robin", "--duration", "15"])
         assert code == 0
         assert "scenario-5" in capsys.readouterr().out
+
+    def test_run_records_distributed_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "spans.json"
+        code = main(["run", "--scenario", "scenario-5", "--algorithm",
+                     "round-robin", "--duration", "15",
+                     "--trace", str(out), "--trace-sample", "0.5"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "critical path" in stdout
+        assert "wrote" in stdout
+        data = json.loads(out.read_text())
+        assert data["resourceSpans"]
+
+    def test_run_records_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "spans.chrome.json"
+        code = main(["run", "--scenario", "scenario-5", "--algorithm",
+                     "l3", "--duration", "15", "--trace", str(out),
+                     "--trace-format", "chrome"])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert any(event["ph"] == "X" for event in data["traceEvents"])
+        # The L3 controller's decision audit rides along as instant events.
+        assert any(event["name"] == "l3.reconcile"
+                   for event in data["traceEvents"])
 
 
 class TestFigure:

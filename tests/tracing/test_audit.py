@@ -1,0 +1,122 @@
+"""The controller decision audit log, alone and attached to a controller."""
+
+import pytest
+
+from repro.core.config import L3Config
+from repro.core.controller import L3Controller, MetricSample
+from repro.tracing import DecisionAuditLog, MeshTracer
+from repro.tracing import model
+
+
+class _StaticSource:
+    def __init__(self, samples):
+        self.samples = samples
+
+    def collect(self, backend_names, now, window_s, percentile):
+        return {name: self.samples.get(name) for name in backend_names}
+
+
+class _FailingSource:
+    def collect(self, backend_names, now, window_s, percentile):
+        raise RuntimeError("prometheus down")
+
+
+class _Sink:
+    def __init__(self):
+        self.pushed = []
+
+    def set_weights(self, weights, now):
+        self.pushed.append((now, dict(weights)))
+
+
+def _samples():
+    return {
+        "api/cluster-1": MetricSample(
+            latency_s=0.020, success_rate=1.0, rps=100.0, inflight=2.0),
+        "api/cluster-2": MetricSample(
+            latency_s=0.080, success_rate=0.95, rps=50.0, inflight=4.0),
+    }
+
+
+def _controller(source) -> L3Controller:
+    return L3Controller(
+        ["api/cluster-1", "api/cluster-2"], source, _Sink(), L3Config())
+
+
+class TestDecisionRecords:
+    def test_reconcile_appends_full_decision(self):
+        controller = _controller(_StaticSource(_samples()))
+        log = DecisionAuditLog()
+        controller.audit = log
+        weights = controller.reconcile(10.0)
+        assert log.last_decision_id == 1
+        decision = log.decisions[0]
+        assert decision.time_s == 10.0
+        assert decision.weights == weights
+        assert decision.total_rps == pytest.approx(150.0)
+        assert decision.error is None
+        row = decision.backends["api/cluster-1"]
+        assert row["sample_latency_s"] == pytest.approx(0.020)
+        assert row["ewma_latency_s"] > 0
+        assert set(decision.raw_weights) == set(weights)
+
+    def test_missing_sample_omits_sample_keys(self):
+        samples = _samples()
+        samples["api/cluster-2"] = None
+        controller = _controller(_StaticSource(samples))
+        controller.audit = DecisionAuditLog()
+        controller.reconcile(10.0)
+        row = controller.audit.decisions[0].backends["api/cluster-2"]
+        assert "sample_latency_s" not in row
+        assert "ewma_latency_s" in row
+
+    def test_degraded_reconcile_records_error(self):
+        controller = _controller(_FailingSource())
+        log = DecisionAuditLog()
+        controller.audit = log
+        controller.reconcile(10.0)
+        decision = log.decisions[0]
+        assert decision.error is not None
+        assert "prometheus down" in decision.error
+        assert decision.weights == {}
+
+    def test_decision_ids_are_sequential(self):
+        controller = _controller(_StaticSource(_samples()))
+        log = DecisionAuditLog()
+        controller.audit = log
+        for tick in range(1, 4):
+            controller.reconcile(float(tick * 10))
+        assert [d.decision_id for d in log.decisions] == [1, 2, 3]
+        assert log.last_decision_id == 3
+
+
+class TestAuditSpans:
+    def test_emits_reconcile_span_with_inputs_and_outputs(self):
+        tracer = MeshTracer()
+        controller = _controller(_StaticSource(_samples()))
+        controller.audit = DecisionAuditLog(tracer, prefix="l3")
+        controller.reconcile(10.0)
+        (span,) = tracer.recorder.finished_spans()
+        assert span.name == model.RECONCILE
+        assert span.kind == model.INTERNAL
+        assert span.start_s == span.end_s == 10.0
+        assert span.attributes["controller"] == "l3"
+        assert span.attributes["decision_id"] == 1
+        assert span.attributes["api/cluster-1.sample_rps"] == 100.0
+        assert span.attributes["api/cluster-1.weight"] >= 1
+        assert span.attributes["api/cluster-1.raw_weight"] > 0
+
+    def test_degraded_span_has_error_status(self):
+        tracer = MeshTracer()
+        controller = _controller(_FailingSource())
+        controller.audit = DecisionAuditLog(tracer)
+        controller.reconcile(10.0)
+        (span,) = tracer.recorder.finished_spans()
+        assert span.status == model.ERROR
+        assert "prometheus down" in span.attributes["error"]
+
+    def test_without_tracer_no_spans_just_records(self):
+        controller = _controller(_StaticSource(_samples()))
+        controller.audit = DecisionAuditLog()
+        controller.reconcile(10.0)
+        assert len(controller.audit.decisions) == 1

@@ -1,0 +1,157 @@
+"""Exporter formats and the OTLP → workload-span conversion."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tracing import (
+    MeshTracer,
+    export_trace,
+    load_otlp,
+    to_chrome,
+    to_otlp,
+    workload_spans,
+)
+from repro.tracing import model
+from repro.workloads.spans import NETWORK as WL_NETWORK
+from repro.workloads.spans import SERVER as WL_SERVER
+
+
+def _tracer_with_one_request() -> MeshTracer:
+    """A hand-built trace: request → attempt → (wan.send, exec, wan.recv)."""
+    tracer = MeshTracer()
+    ctx = tracer.trace()
+    root = ctx.start(model.REQUEST, model.CLIENT, 10.0,
+                     attributes={"request_id": 1, "service": "api"})
+    actx = ctx.child(root)
+    attempt = actx.start(model.ATTEMPT, model.CLIENT, 10.0,
+                         attributes={"backend": "api/cluster-2",
+                                     "attempt": 1})
+    wctx = actx.child(attempt)
+    send = wctx.start(model.WAN_SEND, model.NETWORK, 10.0,
+                      attributes={"src": "cluster-1", "dst": "cluster-2",
+                                  "link": "cluster-1->cluster-2"})
+    wctx.end(send, 10.025)
+    execute = wctx.start(model.SERVER_EXEC, model.SERVER, 10.025)
+    wctx.end(execute, 10.125)
+    recv = wctx.start(model.WAN_RECV, model.NETWORK, 10.125,
+                      attributes={"src": "cluster-2", "dst": "cluster-1",
+                                  "link": "cluster-2->cluster-1"})
+    wctx.end(recv, 10.150)
+    actx.end(attempt, 10.150)
+    ctx.end(root, 10.150)
+    return tracer
+
+
+class TestOtlp:
+    def test_shape_and_ids(self):
+        document = to_otlp(_tracer_with_one_request().recorder)
+        spans = document["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert len(spans) == 5
+        root = next(s for s in spans if s["name"] == model.REQUEST)
+        attempt = next(s for s in spans if s["name"] == model.ATTEMPT)
+        assert "parentSpanId" not in root
+        assert attempt["parentSpanId"] == root["spanId"]
+        assert len(attempt["traceId"]) == 32
+        assert len(attempt["spanId"]) == 16
+        assert attempt["startTimeUnixNano"] == str(int(10.0 * 1e9))
+
+    def test_status_and_kind_attributes_preserved(self):
+        tracer = MeshTracer()
+        ctx = tracer.trace()
+        span = ctx.start(model.WAN_SEND, model.NETWORK, 0.0)
+        ctx.end(span, 1.0, status=model.TIMEOUT)
+        encoded = to_otlp(tracer.recorder)[
+            "resourceSpans"][0]["scopeSpans"][0]["spans"][0]
+        attrs = {a["key"]: a["value"] for a in encoded["attributes"]}
+        assert attrs["repro.kind"] == {"stringValue": model.NETWORK}
+        assert attrs["repro.status"] == {"stringValue": model.TIMEOUT}
+        assert encoded["status"] == {"code": 2}
+
+    def test_open_spans_skipped(self):
+        tracer = MeshTracer()
+        ctx = tracer.trace()
+        ctx.start(model.REQUEST, model.CLIENT, 0.0)  # never closed
+        document = to_otlp(tracer.recorder)
+        assert document["resourceSpans"][0]["scopeSpans"][0]["spans"] == []
+
+
+class TestChrome:
+    def test_duration_and_instant_events(self):
+        tracer = _tracer_with_one_request()
+        audit_ctx = tracer.decision_trace()
+        span = audit_ctx.start(model.RECONCILE, model.INTERNAL, 15.0,
+                               attributes={"decision_id": 1})
+        audit_ctx.end(span, 15.0)
+        document = to_chrome(tracer.recorder)
+        events = document["traceEvents"]
+        durations = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(durations) == 5
+        assert len(instants) == 1
+        assert instants[0]["name"] == model.RECONCILE
+        assert instants[0]["pid"] == 2
+        # All data-plane spans of one trace share a track (tid).
+        assert len({e["tid"] for e in durations}) == 1
+
+
+class TestExportFile:
+    def test_round_trips_through_disk(self, tmp_path):
+        tracer = _tracer_with_one_request()
+        path = tmp_path / "trace.json"
+        export_trace(tracer.recorder, path, "otlp")
+        assert load_otlp(path) == to_otlp(tracer.recorder)
+
+    def test_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ConfigError):
+            export_trace(_tracer_with_one_request().recorder,
+                         tmp_path / "x.json", "jaeger")
+
+    def test_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigError):
+            load_otlp(path)
+
+    def test_export_is_byte_deterministic(self, tmp_path):
+        blobs = []
+        for run in range(2):
+            path = tmp_path / f"run{run}.json"
+            export_trace(_tracer_with_one_request().recorder, path)
+            blobs.append(path.read_bytes())
+        assert blobs[0] == blobs[1]
+
+
+class TestWorkloadSpans:
+    def test_attempt_becomes_server_span_with_network_children(self):
+        data = to_otlp(_tracer_with_one_request().recorder)
+        spans = workload_spans(data)
+        servers = [s for s in spans if s.kind == WL_SERVER]
+        networks = [s for s in spans if s.kind == WL_NETWORK]
+        assert len(servers) == 1
+        assert len(networks) == 2
+        server = servers[0]
+        assert (server.service, server.cluster) == ("api", "cluster-2")
+        # Rebased: the earliest attempt starts at 0.
+        assert server.start_s == 0.0
+        assert server.duration_s == pytest.approx(0.150)
+        for leg in networks:
+            assert leg.parent_id == server.span_id
+        # §5.1 network exclusion leaves exec (+overhead) time.
+        from repro.workloads.spans import execution_latencies
+
+        (_svc, _clu, _start, execution), = execution_latencies(spans)
+        assert execution == pytest.approx(0.100)
+
+    def test_no_attempts_yields_nothing(self):
+        assert workload_spans({"resourceSpans": []}) == []
+
+    def test_rebase_disabled_keeps_absolute_times(self):
+        data = to_otlp(_tracer_with_one_request().recorder)
+        spans = workload_spans(data, rebase=False)
+        server = next(s for s in spans if s.kind == WL_SERVER)
+        assert server.start_s == pytest.approx(10.0)
+
+    def test_json_serialisable(self):
+        json.dumps(to_otlp(_tracer_with_one_request().recorder))

@@ -1,0 +1,102 @@
+"""SpanRecorder, sampling and context semantics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tracing import MeshTracer, SpanRecorder, TracingConfig, sample_decision
+from repro.tracing import model
+
+
+class TestSampleDecision:
+    def test_edge_rates(self):
+        assert sample_decision(1, 1.0)
+        assert not sample_decision(1, 0.0)
+
+    def test_deterministic(self):
+        picks = [sample_decision(i, 0.3) for i in range(1, 2000)]
+        assert picks == [sample_decision(i, 0.3) for i in range(1, 2000)]
+
+    def test_rate_roughly_respected(self):
+        n = 20_000
+        hits = sum(sample_decision(i, 0.1) for i in range(1, n + 1))
+        assert 0.07 * n < hits < 0.13 * n
+
+    def test_lower_rate_records_subset_of_higher(self):
+        ids = range(1, 5000)
+        low = {i for i in ids if sample_decision(i, 0.05)}
+        high = {i for i in ids if sample_decision(i, 0.5)}
+        assert low <= high
+
+
+class TestTracingConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TracingConfig(sample_rate=1.5)
+        with pytest.raises(ConfigError):
+            TracingConfig(sample_rate=-0.1)
+        with pytest.raises(ConfigError):
+            TracingConfig(max_spans=0)
+
+
+class TestSpanRecorder:
+    def test_bound_drops_whole_new_traces(self):
+        recorder = SpanRecorder(max_spans=2)
+        assert recorder.admit(1)
+        recorder.add(model.TraceSpan(1, 1, None, model.REQUEST,
+                                     model.CLIENT, 0.0))
+        recorder.add(model.TraceSpan(1, 2, 1, model.ATTEMPT,
+                                     model.CLIENT, 0.0))
+        # At capacity: a new trace is rejected and counted...
+        assert not recorder.admit(2)
+        assert recorder.dropped_traces == 1
+        # ...but the admitted trace may still finish recording.
+        recorder.add(model.TraceSpan(1, 3, 2, model.SERVER_EXEC,
+                                     model.SERVER, 0.0))
+        assert len(recorder) == 3
+
+    def test_finished_spans_skips_open_ones(self):
+        recorder = SpanRecorder()
+        recorder.admit(1)
+        open_span = recorder.add(model.TraceSpan(
+            1, 1, None, model.REQUEST, model.CLIENT, 0.0))
+        closed = recorder.add(model.TraceSpan(
+            1, 2, 1, model.ATTEMPT, model.CLIENT, 0.0, end_s=0.5))
+        assert recorder.finished_spans() == [closed]
+        assert list(recorder.traces()) == [1]
+        with pytest.raises(ValueError):
+            open_span.duration_s
+
+
+class TestMeshTracer:
+    def test_trace_ids_consumed_even_when_unsampled(self):
+        # Rate 0.1 must pick exactly the trace ids a rate-1.0 run would
+        # assign — ids advance on every dispatch regardless of sampling.
+        tracer = MeshTracer(TracingConfig(sample_rate=0.0))
+        assert tracer.trace() is None
+        assert tracer.trace() is None
+        sampled = MeshTracer(TracingConfig(sample_rate=1.0))
+        sampled.trace()
+        sampled.trace()
+        third = sampled.trace()
+        assert third.trace_id == 3
+
+    def test_context_parenting(self):
+        tracer = MeshTracer()
+        ctx = tracer.trace()
+        root = ctx.start(model.REQUEST, model.CLIENT, 0.0)
+        assert root.parent_id is None
+        child_ctx = ctx.child(root)
+        attempt = child_ctx.start(model.ATTEMPT, model.CLIENT, 0.1)
+        assert attempt.parent_id == root.span_id
+        explicit = ctx.start(model.WAN_SEND, model.NETWORK, 0.2,
+                             parent=attempt)
+        assert explicit.parent_id == attempt.span_id
+        ctx.end(root, 1.0)
+        assert root.duration_s == 1.0
+
+    def test_decision_trace_bypasses_sampling(self):
+        tracer = MeshTracer(TracingConfig(sample_rate=0.0))
+        ctx = tracer.decision_trace()
+        span = ctx.start(model.RECONCILE, model.INTERNAL, 5.0)
+        ctx.end(span, 5.0)
+        assert tracer.recorder.finished_spans() == [span]

@@ -8,7 +8,6 @@ from repro.balancers.round_robin import RoundRobinBalancer
 from repro.errors import ConfigError
 from repro.mesh.mesh import ServiceMesh
 from repro.mesh.network import WanLink
-from repro.sim.rng import RngRegistry
 from repro.workloads.callgraph import (
     CachedRead,
     CallGraphApp,
