@@ -7,7 +7,13 @@ choice.
 
 from __future__ import annotations
 
-from conftest import REPETITIONS, SCENARIO_DURATION_S, run_once, save_output
+from conftest import (
+    BENCH_JOBS,
+    REPETITIONS,
+    SCENARIO_DURATION_S,
+    run_once,
+    save_output,
+)
 
 from repro.bench.experiments import (
     ablation_inflight_exponent,
@@ -20,7 +26,8 @@ from repro.bench.experiments import (
 def test_ablation_rate_control(benchmark):
     experiment = run_once(
         benchmark, ablation_rate_control,
-        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS)
+        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS,
+        jobs=BENCH_JOBS)
     save_output("ablation_rate_control", experiment.render())
     rows = experiment.table.rows
     # On the fluctuating-RPS scenario the rate controller must not make
@@ -31,7 +38,8 @@ def test_ablation_rate_control(benchmark):
 def test_ablation_inflight_exponent(benchmark):
     experiment = run_once(
         benchmark, ablation_inflight_exponent,
-        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS)
+        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS,
+        jobs=BENCH_JOBS)
     save_output("ablation_inflight_exponent", experiment.render())
     rows = experiment.table.rows
     # All exponents produce a functional balancer; the paper's k=2 must be
@@ -43,7 +51,8 @@ def test_ablation_inflight_exponent(benchmark):
 def test_ablation_retries(benchmark):
     experiment = run_once(
         benchmark, ablation_retries,
-        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS)
+        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS,
+        jobs=BENCH_JOBS)
     save_output("ablation_retries", experiment.render())
     rows = experiment.table.rows
     # Retries convert failures into latency: success rises markedly.
@@ -54,7 +63,8 @@ def test_ablation_retries(benchmark):
 def test_ablation_scrape_interval(benchmark):
     experiment = run_once(
         benchmark, ablation_scrape_interval,
-        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS)
+        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS,
+        jobs=BENCH_JOBS)
     save_output("ablation_scrape_interval", experiment.render())
     rows = experiment.table.rows
     # Faster scraping reacts faster; 2.5 s must not be worse than 10 s by

@@ -8,7 +8,13 @@ P99 for the volatile scenarios, and L3 no worse than round-robin anywhere.
 
 from __future__ import annotations
 
-from conftest import REPETITIONS, SCENARIO_DURATION_S, run_once, save_output
+from conftest import (
+    BENCH_JOBS,
+    REPETITIONS,
+    SCENARIO_DURATION_S,
+    run_once,
+    save_output,
+)
 
 from repro.bench.experiments import fig10_scenario_comparison
 
@@ -16,7 +22,8 @@ from repro.bench.experiments import fig10_scenario_comparison
 def test_fig10_scenario_comparison(benchmark):
     experiments = run_once(
         benchmark, fig10_scenario_comparison,
-        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS)
+        duration_s=SCENARIO_DURATION_S, repetitions=REPETITIONS,
+        jobs=BENCH_JOBS)
     save_output("fig10_scenarios", "\n\n".join(
         experiment.render() for experiment in experiments.values()))
 

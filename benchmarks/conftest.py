@@ -26,6 +26,11 @@ SCENARIO_DURATION_S = 120.0 if FAST else 600.0
 HOTEL_DURATION_S = 120.0 if FAST else 300.0
 REPETITIONS = 1
 
+# Worker processes for the sweep-based benchmarks (repro.bench.parallel).
+# 0 means "one per CPU"; results are identical for every value — the
+# executor merges cells by id in sweep order, never completion order.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1")) or None
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark and return its value."""

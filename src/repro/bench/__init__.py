@@ -6,13 +6,18 @@ from repro.bench.coordinator import (
     run_hotel_benchmark,
     run_scenario_benchmark,
 )
+from repro.bench.parallel import Cell, CellFailed, CellOutcome, run_cells
 from repro.bench.results import ComparisonTable, format_table
 
 __all__ = [
     "BenchmarkResult",
+    "Cell",
+    "CellFailed",
+    "CellOutcome",
     "ComparisonTable",
     "ScenarioBenchConfig",
     "format_table",
+    "run_cells",
     "run_hotel_benchmark",
     "run_scenario_benchmark",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.percentiles import exact_percentile
+from repro.analysis.percentiles import Percentiles
 from repro.analysis.stats import success_rate as _success_rate
 from repro.balancers.factory import make_balancer
 from repro.core.config import L3Config
@@ -90,6 +90,9 @@ class BenchmarkResult:
         tracer: the :class:`~repro.tracing.recorder.MeshTracer` the run
             recorded into, when one was passed — its recorder feeds the
             exporters and the critical-path report.
+        events_processed: kernel events the run's simulator dispatched
+            (warm-up and drain included) — the numerator of the
+            events/sec perf baseline in ``benchmarks/bench_perf.py``.
     """
 
     scenario: str
@@ -100,6 +103,7 @@ class BenchmarkResult:
     controller_weights: dict = field(default_factory=dict)
     fault_log: list = field(default_factory=list)
     tracer: object | None = None
+    events_processed: int = 0
 
     @property
     def request_count(self) -> int:
@@ -110,12 +114,23 @@ class BenchmarkResult:
         """Fraction of successful requests in the measured period."""
         return _success_rate(self.records)
 
-    def latency_percentile_ms(self, q: float) -> float:
-        """Exact latency percentile over all measured requests, in ms."""
+    def latency_percentiles(self) -> Percentiles:
+        """Percentile reader over the measured latencies (sorted once).
+
+        The sort is cached on the result: reading a whole spectrum plus
+        p50/p90/p99 costs one O(n log n) pass total.
+        """
         if not self.records:
             raise ValueError("no records captured")
-        return exact_percentile(
-            [r.latency_s for r in self.records], q) * 1000.0
+        cached = self.__dict__.get("_latency_percentiles")
+        if cached is None or len(cached) != len(self.records):
+            cached = Percentiles(r.latency_s for r in self.records)
+            self.__dict__["_latency_percentiles"] = cached
+        return cached
+
+    def latency_percentile_ms(self, q: float) -> float:
+        """Exact latency percentile over all measured requests, in ms."""
+        return self.latency_percentiles().percentile(q) * 1000.0
 
     @property
     def p50_ms(self) -> float:
@@ -250,7 +265,7 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
         duration_s=duration_s, records=measured,
         controller_weights=weights,
         fault_log=list(injector.log) if injector else [],
-        tracer=tracer)
+        tracer=tracer, events_processed=sim.events_processed)
 
 
 def run_callgraph_benchmark(build_application, app_name: str,
@@ -321,7 +336,8 @@ def run_callgraph_benchmark(build_application, app_name: str,
     ]
     return BenchmarkResult(
         scenario=app_name, algorithm=algorithm, seed=seed,
-        duration_s=duration_s, records=measured, tracer=tracer)
+        duration_s=duration_s, records=measured, tracer=tracer,
+        events_processed=sim.events_processed)
 
 
 def run_hotel_benchmark(algorithm: str, rps: float = 200.0,

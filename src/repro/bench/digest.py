@@ -1,0 +1,83 @@
+"""Golden-digest fingerprinting of a benchmark run.
+
+The perf work this repo does (kernel fast paths, zero-copy telemetry,
+parallel sweeps) is only admissible if it is *behavior-preserving*: a
+fixed-seed run must produce the same routing weights, the same reported
+percentiles and a byte-identical trace export before and after any
+optimization. :func:`golden_digest` collapses one run into a single
+SHA-256 hex string over a canonical JSON serialization of everything the
+coordinator reports, so a determinism test reduces to one string
+comparison — and any future kernel change that shifts behavior by even
+one event ordering fails loudly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.bench.coordinator import run_scenario_benchmark
+
+
+def result_fingerprint(result) -> dict:
+    """A canonical, JSON-serializable fingerprint of one benchmark run.
+
+    Captures every request record (ids, timing, backend, outcome), the
+    controller's final weights, and the headline percentiles. Floats pass
+    through ``repr`` via ``json.dumps`` (shortest round-trip repr, stable
+    across CPython versions), so the serialization is reproducible
+    byte-for-byte.
+    """
+    fingerprint = {
+        "scenario": result.scenario,
+        "algorithm": result.algorithm,
+        "seed": result.seed,
+        "request_count": result.request_count,
+        "weights": dict(sorted(result.controller_weights.items())),
+        "records": [
+            [r.request_id, r.backend, r.intended_start_s, r.start_s,
+             r.end_s, r.success, r.attempts]
+            for r in result.records
+        ],
+    }
+    if result.records:
+        fingerprint["percentiles_ms"] = {
+            "p50": result.p50_ms, "p90": result.p90_ms, "p99": result.p99_ms}
+    return fingerprint
+
+
+def digest_result(result, trace_blob: bytes | None = None) -> str:
+    """SHA-256 hex digest of one run's fingerprint (+ optional trace)."""
+    blob = json.dumps(
+        result_fingerprint(result), sort_keys=True,
+        separators=(",", ":")).encode("utf-8")
+    digest = hashlib.sha256(blob)
+    if trace_blob is not None:
+        digest.update(trace_blob)
+    return digest.hexdigest()
+
+
+def golden_digest(scenario: str = "scenario-1", algorithm: str = "l3",
+                  duration_s: float = 30.0, seed: int = 1,
+                  with_trace: bool = True) -> str:
+    """Run one fixed-seed benchmark and return its behavior digest.
+
+    With ``with_trace`` the run records full distributed traces and the
+    digest additionally covers the byte-exact OTLP-JSON export — the
+    strictest equality the tracing subsystem can express.
+    """
+    tracer = None
+    if with_trace:
+        from repro.tracing import MeshTracer, TracingConfig
+
+        tracer = MeshTracer(TracingConfig(sample_rate=1.0))
+    result = run_scenario_benchmark(
+        scenario, algorithm, duration_s=duration_s, seed=seed, tracer=tracer)
+    trace_blob = None
+    if tracer is not None:
+        from repro.tracing.export import to_otlp
+
+        trace_blob = json.dumps(
+            to_otlp(tracer.recorder), sort_keys=True,
+            separators=(",", ":")).encode("utf-8")
+    return digest_result(result, trace_blob)

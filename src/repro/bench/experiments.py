@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.stats import relative_decrease
 from repro.bench.coordinator import run_hotel_benchmark, run_scenario_benchmark
+from repro.bench.parallel import Cell, run_cells
 from repro.bench.results import ComparisonTable
 from repro.core.config import L3Config
 from repro.core.rate_control import adjust_weight
@@ -78,22 +79,49 @@ class BarExperiment:
         return "\n".join(out)
 
 
-def _mean_result(runner, algorithm: str, repetitions: int, seed0: int,
-                 **kwargs):
-    """Run ``repetitions`` seeds and average the headline metrics."""
-    p50s, p90s, p99s, srs = [], [], [], []
-    for rep in range(repetitions):
-        result = runner(algorithm=algorithm, seed=seed0 + rep, **kwargs)
-        p50s.append(result.p50_ms)
-        p90s.append(result.p90_ms)
-        p99s.append(result.p99_ms)
-        srs.append(result.success_rate)
+def _summarize(results) -> dict:
+    """Average the headline metrics over one row's repetition results."""
     return {
-        "p50_ms": statistics.mean(p50s),
-        "p90_ms": statistics.mean(p90s),
-        "p99_ms": statistics.mean(p99s),
-        "success_rate": statistics.mean(srs),
+        "p50_ms": statistics.mean(r.p50_ms for r in results),
+        "p90_ms": statistics.mean(r.p90_ms for r in results),
+        "p99_ms": statistics.mean(r.p99_ms for r in results),
+        "success_rate": statistics.mean(r.success_rate for r in results),
     }
+
+
+def _sweep_rows(rows, repetitions: int, seed0: int,
+                jobs: int | None = 1) -> dict:
+    """Run every (row × repetition) cell of a figure sweep.
+
+    Args:
+        rows: ``[(label, runner, kwargs), ...]`` — one table row each;
+            ``runner(seed=..., **kwargs)`` must return a
+            :class:`~repro.bench.coordinator.BenchmarkResult`.
+        repetitions: seeds per row (``seed0 + rep``), averaged.
+        jobs: worker processes for the sweep (1 = serial, None = CPUs).
+            The independent cells are merged back in row order, so the
+            returned metrics are identical for every value of ``jobs``.
+
+    Returns:
+        ``{label: {"p50_ms": ..., "p90_ms": ..., "p99_ms": ...,
+        "success_rate": ...}}`` in row order.
+    """
+    cells = [
+        Cell(id=f"{label}#rep{rep}", fn=runner,
+             kwargs={**kwargs, "seed": seed0 + rep})
+        for label, runner, kwargs in rows
+        for rep in range(repetitions)
+    ]
+    outcomes = run_cells(cells, jobs=jobs)
+    return {
+        label: _summarize([
+            outcomes[f"{label}#rep{rep}"].unwrap()
+            for rep in range(repetitions)
+        ])
+        for label, _runner, _kwargs in rows
+    }
+
+
 
 
 # --------------------------------------------------------------------- #
@@ -175,7 +203,7 @@ def fig6_trace_characteristics(step_s: float = 10.0) -> SeriesExperiment:
 def fig7_penalty_factor_sweep(
         penalties_s=(0.1, 0.3, 0.6, 1.0, 1.5),
         duration_s: float = TRACE_PERIOD_S, repetitions: int = 2,
-        seed0: int = 1) -> BarExperiment:
+        seed0: int = 1, jobs: int | None = 1) -> BarExperiment:
     """Fig. 7b: success rate and percentile-latency decrease vs penalty P.
 
     Runs failure-2 with round-robin as the baseline and L3 at each penalty
@@ -184,19 +212,23 @@ def fig7_penalty_factor_sweep(
     """
     table = ComparisonTable(
         "Fig. 7b: penalty factor sweep on failure-2", baseline="round-robin")
-    baseline = _mean_result(
-        run_scenario_benchmark, "round-robin", repetitions, seed0,
-        scenario="failure-2", duration_s=duration_s)
+    rows = [("round-robin", run_scenario_benchmark,
+             {"algorithm": "round-robin", "scenario": "failure-2",
+              "duration_s": duration_s})]
+    for penalty in penalties_s:
+        config = L3Config(weighting=WeightingConfig(penalty_s=penalty))
+        rows.append((f"l3 P={penalty:g}s", run_scenario_benchmark,
+                     {"algorithm": "l3", "scenario": "failure-2",
+                      "duration_s": duration_s, "l3_config": config}))
+    metrics = _sweep_rows(rows, repetitions, seed0, jobs=jobs)
+    baseline = metrics["round-robin"]
     table.add("round-robin", **{
         "p99_ms": baseline["p99_ms"],
         "success_pct": baseline["success_rate"] * 100.0,
     })
-    for penalty in penalties_s:
-        config = L3Config(weighting=WeightingConfig(penalty_s=penalty))
-        result = _mean_result(
-            run_scenario_benchmark, "l3", repetitions, seed0,
-            scenario="failure-2", duration_s=duration_s, l3_config=config)
-        table.add(f"l3 P={penalty:g}s", **{
+    for label, _runner, _kwargs in rows[1:]:
+        result = metrics[label]
+        table.add(label, **{
             "p99_ms": result["p99_ms"],
             "success_pct": result["success_rate"] * 100.0,
             "p50_dec_pct": relative_decrease(
@@ -215,15 +247,19 @@ def fig7_penalty_factor_sweep(
 
 def fig8_ewma_vs_peakewma(duration_s: float = TRACE_PERIOD_S,
                           repetitions: int = 3, seed0: int = 1,
-                          ) -> BarExperiment:
+                          jobs: int | None = 1) -> BarExperiment:
     """Fig. 8: P99 of round-robin vs L3-PeakEWMA vs L3-EWMA on scenario-4."""
     table = ComparisonTable(
         "Fig. 8: EWMA vs PeakEWMA on scenario-4", baseline="round-robin")
-    for algorithm in ("round-robin", "l3-peak", "l3"):
-        result = _mean_result(
-            run_scenario_benchmark, algorithm, repetitions, seed0,
-            scenario="scenario-4", duration_s=duration_s)
-        table.add(algorithm, p99_ms=result["p99_ms"])
+    rows = [
+        (algorithm, run_scenario_benchmark,
+         {"algorithm": algorithm, "scenario": "scenario-4",
+          "duration_s": duration_s})
+        for algorithm in ("round-robin", "l3-peak", "l3")
+    ]
+    for label, result in _sweep_rows(rows, repetitions, seed0,
+                                     jobs=jobs).items():
+        table.add(label, p99_ms=result["p99_ms"])
     return BarExperiment(
         "Fig. 8", "EWMA vs PeakEWMA", table, paper=PAPER_FIG8_P99_MS)
 
@@ -235,15 +271,18 @@ def fig8_ewma_vs_peakewma(duration_s: float = TRACE_PERIOD_S,
 def fig9_hotel_reservation(rps: float = 200.0,
                            duration_s: float = 1200.0,
                            repetitions: int = 3, seed0: int = 1,
-                           ) -> BarExperiment:
+                           jobs: int | None = 1) -> BarExperiment:
     """Fig. 9: hotel-reservation P99 under RR / C3 / L3 at 200 RPS."""
     table = ComparisonTable(
         "Fig. 9: hotel-reservation P99 at 200 RPS", baseline="round-robin")
-    for algorithm in ALGORITHMS:
-        result = _mean_result(
-            run_hotel_benchmark, algorithm, repetitions, seed0,
-            rps=rps, duration_s=duration_s)
-        table.add(algorithm, p50_ms=result["p50_ms"],
+    rows = [
+        (algorithm, run_hotel_benchmark,
+         {"algorithm": algorithm, "rps": rps, "duration_s": duration_s})
+        for algorithm in ALGORITHMS
+    ]
+    for label, result in _sweep_rows(rows, repetitions, seed0,
+                                     jobs=jobs).items():
+        table.add(label, p50_ms=result["p50_ms"],
                   p99_ms=result["p99_ms"])
     return BarExperiment(
         "Fig. 9", "hotel reservation", table, paper=PAPER_FIG9_P99_MS)
@@ -255,21 +294,30 @@ def fig9_hotel_reservation(rps: float = 200.0,
 
 def fig10_scenario_comparison(scenarios=None,
                               duration_s: float = TRACE_PERIOD_S,
-                              repetitions: int = 3, seed0: int = 1) -> dict:
+                              repetitions: int = 3, seed0: int = 1,
+                              jobs: int | None = 1) -> dict:
     """Fig. 10: P99 of RR / C3 / L3 on scenario-1..5.
 
-    Returns a dict scenario → :class:`BarExperiment`.
+    Returns a dict scenario → :class:`BarExperiment`. The full
+    (scenario × algorithm × seed) grid is one flat cell sweep, so
+    ``jobs`` parallelizes across scenarios as well as algorithms.
     """
     scenarios = scenarios or [f"scenario-{i}" for i in range(1, 6)]
+    rows = [
+        (f"{name}/{algorithm}", run_scenario_benchmark,
+         {"algorithm": algorithm, "scenario": name,
+          "duration_s": duration_s})
+        for name in scenarios
+        for algorithm in ALGORITHMS
+    ]
+    metrics = _sweep_rows(rows, repetitions, seed0, jobs=jobs)
     out = {}
     for name in scenarios:
         table = ComparisonTable(
             f"Fig. 10 ({name}): P99 comparison", baseline="round-robin")
         for algorithm in ALGORITHMS:
-            result = _mean_result(
-                run_scenario_benchmark, algorithm, repetitions, seed0,
-                scenario=name, duration_s=duration_s)
-            table.add(algorithm, p99_ms=result["p99_ms"])
+            table.add(algorithm,
+                      p99_ms=metrics[f"{name}/{algorithm}"]["p99_ms"])
         out[name] = BarExperiment(
             f"Fig. 10 ({name})", name, table,
             paper=PAPER_FIG10_P99_MS.get(name, {}))
@@ -281,21 +329,29 @@ def fig10_scenario_comparison(scenarios=None,
 # --------------------------------------------------------------------- #
 
 def fig11_12_failure_scenarios(duration_s: float = TRACE_PERIOD_S,
-                               repetitions: int = 3, seed0: int = 1) -> dict:
+                               repetitions: int = 3, seed0: int = 1,
+                               jobs: int | None = 1) -> dict:
     """Figs. 11 & 12: P99 and success rate on failure-1/failure-2.
 
     Returns a dict scenario → :class:`BarExperiment` whose rows carry both
     the P99 (Fig. 11) and the success rate (Fig. 12).
     """
+    names = ("failure-1", "failure-2")
+    rows = [
+        (f"{name}/{algorithm}", run_scenario_benchmark,
+         {"algorithm": algorithm, "scenario": name,
+          "duration_s": duration_s})
+        for name in names
+        for algorithm in ALGORITHMS
+    ]
+    metrics = _sweep_rows(rows, repetitions, seed0, jobs=jobs)
     out = {}
-    for name in ("failure-1", "failure-2"):
+    for name in names:
         table = ComparisonTable(
             f"Fig. 11/12 ({name}): P99 and success rate",
             baseline="round-robin")
         for algorithm in ALGORITHMS:
-            result = _mean_result(
-                run_scenario_benchmark, algorithm, repetitions, seed0,
-                scenario=name, duration_s=duration_s)
+            result = metrics[f"{name}/{algorithm}"]
             table.add(algorithm, p99_ms=result["p99_ms"],
                       success_pct=result["success_rate"] * 100.0)
         out[name] = BarExperiment(
@@ -314,15 +370,18 @@ def fig11_12_failure_scenarios(duration_s: float = TRACE_PERIOD_S,
 def ablation_rate_control(scenario: str = "scenario-2",
                           duration_s: float = TRACE_PERIOD_S,
                           repetitions: int = 2, seed0: int = 1,
-                          ) -> BarExperiment:
+                          jobs: int | None = 1) -> BarExperiment:
     """Rate controller on vs off (Algorithm 2's contribution)."""
     table = ComparisonTable(
         f"Ablation: rate control on/off ({scenario})", baseline="l3")
-    for label, enabled in (("l3", True), ("l3-no-rate-control", False)):
-        config = L3Config(rate_control_enabled=enabled)
-        result = _mean_result(
-            run_scenario_benchmark, "l3", repetitions, seed0,
-            scenario=scenario, duration_s=duration_s, l3_config=config)
+    rows = [
+        (label, run_scenario_benchmark,
+         {"algorithm": "l3", "scenario": scenario, "duration_s": duration_s,
+          "l3_config": L3Config(rate_control_enabled=enabled)})
+        for label, enabled in (("l3", True), ("l3-no-rate-control", False))
+    ]
+    for label, result in _sweep_rows(rows, repetitions, seed0,
+                                     jobs=jobs).items():
         table.add(label, p99_ms=result["p99_ms"])
     return BarExperiment("Ablation", "rate control", table)
 
@@ -331,17 +390,20 @@ def ablation_inflight_exponent(scenario: str = "scenario-1",
                                exponents=(0.0, 1.0, 2.0, 3.0),
                                duration_s: float = TRACE_PERIOD_S,
                                repetitions: int = 2, seed0: int = 1,
-                               ) -> BarExperiment:
+                               jobs: int | None = 1) -> BarExperiment:
     """Eq. 4's squared (R_i + 1) term vs other exponents."""
     table = ComparisonTable(
         f"Ablation: (R_i+1)^k exponent ({scenario})")
-    for exponent in exponents:
-        config = L3Config(
-            weighting=WeightingConfig(inflight_exponent=exponent))
-        result = _mean_result(
-            run_scenario_benchmark, "l3", repetitions, seed0,
-            scenario=scenario, duration_s=duration_s, l3_config=config)
-        table.add(f"k={exponent:g}", p99_ms=result["p99_ms"])
+    rows = [
+        (f"k={exponent:g}", run_scenario_benchmark,
+         {"algorithm": "l3", "scenario": scenario, "duration_s": duration_s,
+          "l3_config": L3Config(
+              weighting=WeightingConfig(inflight_exponent=exponent))})
+        for exponent in exponents
+    ]
+    for label, result in _sweep_rows(rows, repetitions, seed0,
+                                     jobs=jobs).items():
+        table.add(label, p99_ms=result["p99_ms"])
     return BarExperiment("Ablation", "in-flight exponent", table)
 
 
@@ -372,7 +434,8 @@ def hotel_rps_saturation_sweep(rps_values=(200.0, 400.0, 600.0, 800.0,
 
 def ablation_retries(scenario: str = "failure-1",
                      duration_s: float = TRACE_PERIOD_S,
-                     repetitions: int = 2, seed0: int = 1) -> BarExperiment:
+                     repetitions: int = 2, seed0: int = 1,
+                     jobs: int | None = 1) -> BarExperiment:
     """Client retries vs the paper's no-retry benchmarks (§5.2.1).
 
     The paper's L_est formula assumes clients retry failed requests but
@@ -387,11 +450,14 @@ def ablation_retries(scenario: str = "failure-1",
 
     table = ComparisonTable(
         f"Ablation: client retries ({scenario})", baseline="l3 no-retry")
-    for label, retries in (("l3 no-retry", 0), ("l3 retry-2", 2)):
-        env = ScenarioBenchConfig(max_retries=retries)
-        result = _mean_result(
-            run_scenario_benchmark, "l3", repetitions, seed0,
-            scenario=scenario, duration_s=duration_s, env=env)
+    rows = [
+        (label, run_scenario_benchmark,
+         {"algorithm": "l3", "scenario": scenario, "duration_s": duration_s,
+          "env": ScenarioBenchConfig(max_retries=retries)})
+        for label, retries in (("l3 no-retry", 0), ("l3 retry-2", 2))
+    ]
+    for label, result in _sweep_rows(rows, repetitions, seed0,
+                                     jobs=jobs).items():
         table.add(label,
                   p99_ms=result["p99_ms"],
                   success_pct=result["success_rate"] * 100.0)
@@ -402,20 +468,22 @@ def ablation_scrape_interval(scenario: str = "scenario-2",
                              intervals_s=(2.5, 5.0, 10.0),
                              duration_s: float = TRACE_PERIOD_S,
                              repetitions: int = 2, seed0: int = 1,
-                             ) -> BarExperiment:
+                             jobs: int | None = 1) -> BarExperiment:
     """§4's 5 s scrape-interval choice: data freshness vs overhead."""
     from repro.bench.coordinator import ScenarioBenchConfig
 
     table = ComparisonTable(
         f"Ablation: scrape interval ({scenario})")
-    for interval in intervals_s:
-        env = ScenarioBenchConfig(scrape_interval_s=interval)
-        config = L3Config(
-            reconcile_interval_s=interval,
-            metrics_window_s=2.0 * interval)
-        result = _mean_result(
-            run_scenario_benchmark, "l3", repetitions, seed0,
-            scenario=scenario, duration_s=duration_s, l3_config=config,
-            env=env)
-        table.add(f"{interval:g}s", p99_ms=result["p99_ms"])
+    rows = [
+        (f"{interval:g}s", run_scenario_benchmark,
+         {"algorithm": "l3", "scenario": scenario, "duration_s": duration_s,
+          "env": ScenarioBenchConfig(scrape_interval_s=interval),
+          "l3_config": L3Config(
+              reconcile_interval_s=interval,
+              metrics_window_s=2.0 * interval)})
+        for interval in intervals_s
+    ]
+    for label, result in _sweep_rows(rows, repetitions, seed0,
+                                     jobs=jobs).items():
+        table.add(label, p99_ms=result["p99_ms"])
     return BarExperiment("Ablation", "scrape interval", table)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from repro.analysis.percentiles import exact_percentile
 from repro.analysis.stats import success_rate
 from repro.bench.coordinator import ScenarioBenchConfig, run_scenario_benchmark
+from repro.bench.parallel import Cell, run_cells
 from repro.bench.results import format_table
 from repro.faults import (
     ClusterOutage,
@@ -218,25 +219,35 @@ def run_fault_matrix(algorithms=DEFAULT_ALGORITHMS,
                      fault_start_s: float = DEFAULT_FAULT_START_S,
                      fault_duration_s: float = DEFAULT_FAULT_DURATION_S,
                      request_timeout_s: float = 1.0,
+                     jobs: int | None = 1,
                      ) -> dict[str, dict[str, FaultCellResult]]:
     """Sweep every fault kind × every algorithm on the steady scenario.
 
     Returns ``{fault_name: {algorithm: FaultCellResult}}``. All runs share
     one deterministic seed, so cells differ only in their (fault,
-    algorithm) pair.
+    algorithm) pair. ``jobs`` shards the independent cells across worker
+    processes (1 = serial, None = all CPUs); the matrix is identical for
+    every value — cells are merged in sweep order, never completion order.
     """
     env = ScenarioBenchConfig(request_timeout_s=request_timeout_s)
-    matrix: dict[str, dict[str, FaultCellResult]] = {}
+    cells = []
     for fault_name, faults in matrix_fault_cases(
             fault_start_s, fault_duration_s).items():
-        row: dict[str, FaultCellResult] = {}
         for algorithm in algorithms:
             if (fault_name == "controller-pause"
                     and algorithm not in CONTROLLER_ALGORITHMS):
                 continue
-            row[algorithm] = run_fault_cell(
-                fault_name, faults, algorithm, duration_s, seed, env)
-        matrix[fault_name] = row
+            cells.append(Cell(
+                id=f"{fault_name}/{algorithm}", fn=run_fault_cell,
+                kwargs={"fault_name": fault_name, "faults": faults,
+                        "algorithm": algorithm, "duration_s": duration_s,
+                        "seed": seed, "env": env}))
+    outcomes = run_cells(cells, jobs=jobs)
+    matrix: dict[str, dict[str, FaultCellResult]] = {}
+    for cell in cells:
+        fault_name, algorithm = cell.id.split("/", 1)
+        matrix.setdefault(fault_name, {})[algorithm] = (
+            outcomes[cell.id].unwrap())
     return matrix
 
 

@@ -86,6 +86,11 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", choices=FIGURES)
     figure.add_argument("--fast", action="store_true",
                         help="short runs (2-minute trace prefixes)")
+    figure.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the figure's "
+                             "(scenario x algorithm x seed) sweep "
+                             "(default 1 = serial; 0 = all CPUs; results "
+                             "are identical for every value)")
 
     return parser
 
@@ -137,7 +142,7 @@ def _chart_series(series: dict, pick, title: str) -> None:
         print(render_line_chart(chosen, title=title))
 
 
-def _run_figure(name: str, fast: bool) -> None:
+def _run_figure(name: str, fast: bool, jobs: int | None = 1) -> None:
     from repro.bench import experiments
 
     duration = 120.0 if fast else 600.0
@@ -165,26 +170,29 @@ def _run_figure(name: str, fast: bool) -> None:
             "scenario-4 per-cluster P99 (ms)")
     elif name == "fig7":
         print(experiments.fig7_penalty_factor_sweep(
-            duration_s=duration, repetitions=min(repetitions, 2)).render())
+            duration_s=duration, repetitions=min(repetitions, 2),
+            jobs=jobs).render())
     elif name == "fig8":
         experiment = experiments.fig8_ewma_vs_peakewma(
-            duration_s=duration, repetitions=repetitions)
+            duration_s=duration, repetitions=repetitions, jobs=jobs)
         print(experiment.render())
         _chart_bar_experiment(experiment)
     elif name == "fig9":
         experiment = experiments.fig9_hotel_reservation(
-            duration_s=hotel_duration, repetitions=repetitions)
+            duration_s=hotel_duration, repetitions=repetitions, jobs=jobs)
         print(experiment.render())
         _chart_bar_experiment(experiment)
     elif name == "fig10":
         for experiment in experiments.fig10_scenario_comparison(
-                duration_s=duration, repetitions=repetitions).values():
+                duration_s=duration, repetitions=repetitions,
+                jobs=jobs).values():
             print(experiment.render())
             _chart_bar_experiment(experiment)
             print()
     elif name in ("fig11", "fig12"):
         for experiment in experiments.fig11_12_failure_scenarios(
-                duration_s=duration, repetitions=repetitions).values():
+                duration_s=duration, repetitions=repetitions,
+                jobs=jobs).values():
             print(experiment.render())
             _chart_bar_experiment(experiment)
             print()
@@ -252,7 +260,9 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "figure":
-        _run_figure(args.name, args.fast)
+        # --jobs 0 means "all CPUs" (run_cells takes None for that).
+        _run_figure(args.name, args.fast,
+                    jobs=args.jobs if args.jobs > 0 else None)
         return 0
 
     return 2  # pragma: no cover - argparse enforces the choices

@@ -33,7 +33,7 @@ from repro.core.weighting import compute_weights
 from repro.errors import Interrupted
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MetricSample:
     """One backend's aggregated data-plane metrics over the query window.
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import bisect
 import math
+from itertools import accumulate, pairwise
 
 from repro.errors import TelemetryError
 
@@ -33,20 +34,28 @@ DEFAULT_BUCKET_BOUNDS_S: tuple[float, ...] = tuple(
 class LatencyHistogram:
     """A cumulative histogram (each bucket counts observations <= bound)."""
 
-    __slots__ = ("bounds", "_buckets", "_count", "_sum")
+    __slots__ = ("bounds", "_buckets", "_count", "_sum", "_cumulative")
 
     def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS_S):
-        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
-            raise TelemetryError("bucket bounds must be strictly increasing")
         if not bounds:
             raise TelemetryError("at least one bucket bound is required")
+        # Single adjacent-pair pass: strictly-increasing implies sorted and
+        # duplicate-free, with no sorted()/set() copies of the ladder (one
+        # histogram is constructed per backend per run).
+        for lower, upper in pairwise(bounds):
+            if not lower < upper:
+                raise TelemetryError(
+                    "bucket bounds must be strictly increasing")
         self.bounds = tuple(float(b) for b in bounds)
         # Per-bucket (non-cumulative) counts; the final slot is +Inf.
         # Observation is the hot path (per request); the cumulative view is
-        # only materialised at scrape time.
+        # only materialised at scrape time — and cached until the next
+        # observation, since back-to-back scrapes/quantile queries of an
+        # idle backend are common.
         self._buckets = [0] * (len(self.bounds) + 1)
         self._count = 0
         self._sum = 0.0
+        self._cumulative: tuple[int, ...] | None = None
 
     @property
     def count(self) -> int:
@@ -65,15 +74,19 @@ class LatencyHistogram:
         self._buckets[bisect.bisect_left(self.bounds, value)] += 1
         self._count += 1
         self._sum += value
+        self._cumulative = None
 
     def cumulative_counts(self) -> tuple[int, ...]:
-        """Cumulative counts per bucket (monotone, last entry == count)."""
-        out = []
-        running = 0
-        for bucket in self._buckets:
-            running += bucket
-            out.append(running)
-        return tuple(out)
+        """Cumulative counts per bucket (monotone, last entry == count).
+
+        The view is materialised with :func:`itertools.accumulate` and
+        cached until the next observation; a scrape of an idle backend
+        costs one attribute read instead of a 27-bucket rebuild.
+        """
+        cumulative = self._cumulative
+        if cumulative is None:
+            cumulative = self._cumulative = tuple(accumulate(self._buckets))
+        return cumulative
 
     def quantile(self, q: float) -> float:
         """Estimate quantile ``q`` over all observations ever recorded."""
@@ -127,7 +140,13 @@ def quantile_from_delta(bounds, cumulative_start, cumulative_end,
     """
     if len(cumulative_start) != len(cumulative_end):
         raise TelemetryError("snapshot lengths differ")
-    delta = [end - start for start, end in zip(cumulative_start, cumulative_end)]
-    if any(d < 0 for d in delta):
-        raise TelemetryError("counter reset detected in histogram snapshots")
+    # Build the per-bucket delta and validate monotonicity in one pass
+    # (this runs once per backend per reconcile interval).
+    delta = []
+    for start, end in zip(cumulative_start, cumulative_end):
+        diff = end - start
+        if diff < 0:
+            raise TelemetryError(
+                "counter reset detected in histogram snapshots")
+        delta.append(diff)
     return quantile_from_cumulative(bounds, delta, q)

@@ -32,9 +32,20 @@ class PromMetricsSource:
         self.store = store
         self.bucket_bounds = tuple(bucket_bounds)
         self.scope = scope
+        # Scoped-name memo: the controller queries the same handful of
+        # backends every reconcile interval; building the "scope|backend"
+        # string (and the server|name key below) once per backend instead
+        # of once per query keeps the scrape pipeline allocation-free.
+        self._scoped_names: dict[str, str] = {}
+        self._server_names: dict[str, str] = {}
 
     def _scoped(self, name: str) -> str:
-        return f"{self.scope}|{name}" if self.scope else name
+        if not self.scope:
+            return name
+        scoped = self._scoped_names.get(name)
+        if scoped is None:
+            scoped = self._scoped_names[name] = f"{self.scope}|{name}"
+        return scoped
 
     def collect(self, backend_names, now: float, window_s: float,
                 percentile: float) -> dict:
@@ -114,8 +125,11 @@ class PromMetricsSource:
         relies on; it is a property of the backend itself, so the series
         is shared by all vantage points (never scope-prefixed).
         """
+        series_name = self._server_names.get(name)
+        if series_name is None:
+            series_name = self._server_names[name] = f"server|{name}"
         sample = self.store.series(
-            f"server|{name}", metric_names.SERVER_QUEUE
+            series_name, metric_names.SERVER_QUEUE
         ).latest_in_window(now - window_s, now)
         return max(sample[1], 0.0) if sample else 0.0
 

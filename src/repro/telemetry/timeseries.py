@@ -3,64 +3,97 @@
 The scraper appends ``(time, value)`` samples; queries read trailing
 windows. Values are floats for counters/gauges and cumulative-count tuples
 for histograms — the store is agnostic.
+
+Storage is a pair of parallel lists rather than deques: ``bisect`` then
+runs directly on the time list, and the window queries the controller
+issues every reconcile interval touch only the two edge samples — no
+whole-series copy per query. Retention trimming is amortized (the expired
+prefix is sliced off only once it grows past a threshold), so appends stay
+O(1) amortized just like the deque version.
 """
 
 from __future__ import annotations
 
-import bisect
-from collections import deque
+from bisect import bisect_left, bisect_right
 
 from repro.errors import TelemetryError
+
+# Expired samples are physically removed only once this many accumulate;
+# until then they merely sit below the live window (bisect skips them).
+_TRIM_THRESHOLD = 256
 
 
 class SampleSeries:
     """An append-only, time-ordered series with bounded retention."""
 
+    __slots__ = ("max_age_s", "_times", "_values")
+
     def __init__(self, max_age_s: float = 300.0):
         if max_age_s <= 0:
             raise TelemetryError(f"retention must be positive: {max_age_s}")
         self.max_age_s = max_age_s
-        self._times: deque[float] = deque()
-        self._values: deque = deque()
+        self._times: list[float] = []
+        self._values: list = []
 
     def __len__(self) -> int:
-        return len(self._times)
+        # Live samples only: the lazily-trimmed expired prefix is not
+        # part of the series' logical contents.
+        times = self._times
+        if not times:
+            return 0
+        return len(times) - bisect_left(times, times[-1] - self.max_age_s)
 
     def append(self, when: float, value) -> None:
         """Append a sample; samples must arrive in time order."""
-        if self._times and when < self._times[-1]:
+        times = self._times
+        if times and when < times[-1]:
             raise TelemetryError(
-                f"out-of-order sample: {when} < {self._times[-1]}")
-        self._times.append(when)
+                f"out-of-order sample: {when} < {times[-1]}")
+        times.append(when)
         self._values.append(value)
         cutoff = when - self.max_age_s
-        while self._times and self._times[0] < cutoff:
-            self._times.popleft()
-            self._values.popleft()
+        if times[0] < cutoff:
+            expired = bisect_left(times, cutoff)
+            if expired >= _TRIM_THRESHOLD:
+                del times[:expired]
+                del self._values[:expired]
+
+    def _window_bounds(self, start: float, end: float) -> tuple[int, int]:
+        """Index range ``[lo, hi)`` of samples with start <= time <= end."""
+        times = self._times
+        # Clamp the left edge to the retention horizon: samples older than
+        # max_age_s are logically expired even if not yet trimmed.
+        if times:
+            horizon = times[-1] - self.max_age_s
+            if start < horizon:
+                start = horizon
+        return bisect_left(times, start), bisect_right(times, end)
 
     def window(self, start: float, end: float) -> list:
         """All ``(time, value)`` samples with ``start <= time <= end``."""
-        times = list(self._times)
-        lo = bisect.bisect_left(times, start)
-        hi = bisect.bisect_right(times, end)
-        values = list(self._values)
-        return list(zip(times[lo:hi], values[lo:hi]))
+        lo, hi = self._window_bounds(start, end)
+        return list(zip(self._times[lo:hi], self._values[lo:hi]))
 
     def first_last_in_window(self, start: float, end: float):
         """``((t0, v0), (t1, v1))`` of the window edge samples, else None.
 
         Returns None when fewer than two samples fall inside the window —
         mirroring Prometheus ``rate()``, which needs at least two points.
+        Touches exactly two samples; nothing is copied.
         """
-        samples = self.window(start, end)
-        if len(samples) < 2:
+        lo, hi = self._window_bounds(start, end)
+        if hi - lo < 2:
             return None
-        return samples[0], samples[-1]
+        last = hi - 1
+        return ((self._times[lo], self._values[lo]),
+                (self._times[last], self._values[last]))
 
     def latest_in_window(self, start: float, end: float):
         """The most recent ``(time, value)`` in the window, or None."""
-        samples = self.window(start, end)
-        return samples[-1] if samples else None
+        lo, hi = self._window_bounds(start, end)
+        if hi <= lo:
+            return None
+        return self._times[hi - 1], self._values[hi - 1]
 
 
 class TimeSeriesStore:

@@ -57,7 +57,7 @@ ERROR = "error"
 TIMEOUT = "timeout"
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceSpan:
     """One recorded span.
 

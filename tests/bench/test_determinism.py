@@ -1,0 +1,48 @@
+"""Determinism contract: golden digest + parallel/serial equivalence.
+
+Two guarantees every kernel or telemetry optimization must keep:
+
+1. A fixed-seed scenario run reproduces the committed golden digest —
+   same request records, same controller weights, same percentiles, a
+   byte-identical OTLP trace export. Any change to event ordering,
+   float arithmetic or scrape timing flips the hash.
+2. A sweep executed with ``jobs=4`` is byte-identical to the same sweep
+   executed serially — per-cell seeding and the ordered merge make
+   worker scheduling invisible.
+"""
+
+from __future__ import annotations
+
+from repro.bench.coordinator import run_scenario_benchmark
+from repro.bench.digest import digest_result, golden_digest
+from repro.bench.parallel import Cell, run_cells
+
+# SHA-256 of the fixed-seed reference run (scenario-1 / l3 / 30 s /
+# seed 1, traces on). Recompute ONLY for an intentional behavior change:
+#   PYTHONPATH=src python -c "from repro.bench.digest import golden_digest;
+#   print(golden_digest())"
+GOLDEN_DIGEST = (
+    "5079b35ea955fa7d694348cfdfdc3a97160e5283727f651d6a555b221c375a43"
+)
+
+
+def test_fixed_seed_run_matches_golden_digest():
+    assert golden_digest() == GOLDEN_DIGEST
+
+
+def test_parallel_sweep_is_byte_identical_to_serial():
+    cells = [
+        Cell(id=f"{algorithm}/seed{seed}",
+             fn=run_scenario_benchmark,
+             kwargs={"scenario": "scenario-2", "algorithm": algorithm,
+                     "duration_s": 10.0, "seed": seed})
+        for algorithm in ("l3", "round-robin")
+        for seed in (1, 2)
+    ]
+    serial = run_cells(cells, jobs=1)
+    parallel = run_cells(cells, jobs=4)
+
+    assert list(serial) == list(parallel)
+    for cell_id in serial:
+        assert (digest_result(serial[cell_id].unwrap())
+                == digest_result(parallel[cell_id].unwrap())), cell_id
