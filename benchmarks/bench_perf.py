@@ -22,9 +22,12 @@ is identical run to run — only the wall-clock varies with the host.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
 import os
 import pathlib
+import pstats
 import sys
 import time
 
@@ -48,24 +51,57 @@ REFERENCE_SEED = 1
 DEFAULT_TOLERANCE = 0.30
 
 
-def measure_reference(duration_s: float) -> dict:
-    """One serial reference run; returns the kernel throughput numbers."""
-    started = time.perf_counter()
-    result = run_scenario_benchmark(
-        REFERENCE_SCENARIO, REFERENCE_ALGORITHM, duration_s=duration_s,
-        seed=REFERENCE_SEED)
-    wall = time.perf_counter() - started
+def measure_reference(duration_s: float, repeat: int = 3,
+                      engine: str = "fast") -> dict:
+    """Serial reference runs; returns the kernel throughput numbers.
+
+    The simulated work is identical every run (fixed seed), so wall-clock
+    spread is pure host noise — the run is repeated and the *best* wall
+    is reported, the standard defence against scheduler/neighbour
+    interference on shared CI hosts. Every wall is recorded alongside so
+    the noise level stays visible in the report.
+    """
+    walls = []
+    result = None
+    for _ in range(max(repeat, 1)):
+        started = time.perf_counter()
+        result = run_scenario_benchmark(
+            REFERENCE_SCENARIO, REFERENCE_ALGORITHM, duration_s=duration_s,
+            seed=REFERENCE_SEED, engine=engine)
+        walls.append(time.perf_counter() - started)
+    wall = min(walls)
     return {
         "scenario": REFERENCE_SCENARIO,
         "algorithm": REFERENCE_ALGORITHM,
         "seed": REFERENCE_SEED,
+        "engine": engine,
         "duration_s": duration_s,
+        "repeat": len(walls),
         "wall_clock_s": round(wall, 3),
+        "wall_clock_all_s": [round(w, 3) for w in walls],
         "events_processed": result.events_processed,
         "requests": result.request_count,
         "events_per_sec": round(result.events_processed / wall, 1),
         "requests_per_sec": round(result.request_count / wall, 1),
     }
+
+
+def profile_reference(duration_s: float, path: pathlib.Path,
+                      top: int = 30) -> None:
+    """Profile one reference run; write the top-N cumulative dump."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_scenario_benchmark(
+        REFERENCE_SCENARIO, REFERENCE_ALGORITHM, duration_s=duration_s,
+        seed=REFERENCE_SEED)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    stats.sort_stats("tottime").print_stats(top)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(buffer.getvalue(), encoding="utf-8")
+    print(f"wrote profile dump to {path}")
 
 
 def measure_sweep(duration_s: float, cells: int, jobs: int) -> dict:
@@ -95,10 +131,16 @@ def measure_sweep(duration_s: float, cells: int, jobs: int) -> dict:
         raise AssertionError(
             "parallel sweep diverged from serial sweep — determinism "
             "contract violated")
+    cpus = os.cpu_count() or 1
     return {
         "cells": cells,
         "cell_duration_s": duration_s,
         "jobs": jobs,
+        "cpus": cpus,
+        # On a single-CPU host jobs=N only adds process overhead; the
+        # speedup number is then expected to be < 1 and meaningless as a
+        # regression signal (--check ignores the sweep in that case).
+        "speedup_meaningful": cpus >= 2,
         "jobs1_wall_clock_s": round(timings[1], 3),
         "jobsN_wall_clock_s": round(timings[jobs], 3),
         "speedup": round(timings[1] / timings[jobs], 2)
@@ -108,7 +150,13 @@ def measure_sweep(duration_s: float, cells: int, jobs: int) -> dict:
 
 def check_regression(current: dict, baseline_path: pathlib.Path,
                      tolerance: float) -> list[str]:
-    """Compare current events/sec against the committed baseline."""
+    """Compare current throughput against the committed baseline.
+
+    The sweep section is compared only when *both* runs were measured on
+    a multi-CPU host (``speedup_meaningful``): a 1-CPU container cannot
+    exhibit parallel speedup, only process overhead, so its numbers
+    carry no regression signal.
+    """
     if not baseline_path.exists():
         return [f"no committed baseline at {baseline_path}; skipping check"]
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
@@ -121,6 +169,24 @@ def check_regression(current: dict, baseline_path: pathlib.Path,
             problems.append(
                 f"events/sec regressed: {cur_eps:.0f} < {floor:.0f} "
                 f"(baseline {base_eps:.0f}, tolerance {tolerance:.0%})")
+    base_sweep = baseline.get("sweep", {})
+    cur_sweep = current.get("sweep", {})
+    if not cur_sweep.get("speedup_meaningful", False):
+        if cur_sweep:
+            problems.append(
+                f"sweep measured with {cur_sweep.get('cpus', 1)} cpu(s); "
+                "speedup comparison skipped (not a regression)")
+        return problems
+    base_speedup = base_sweep.get("speedup")
+    cur_speedup = cur_sweep.get("speedup")
+    if (base_sweep.get("speedup_meaningful") and base_speedup
+            and cur_speedup is not None):
+        floor = base_speedup * (1.0 - tolerance)
+        if cur_speedup < floor:
+            problems.append(
+                f"sweep speedup regressed: {cur_speedup:.2f} < "
+                f"{floor:.2f} (baseline {base_speedup:.2f}, "
+                f"tolerance {tolerance:.0%})")
     return problems
 
 
@@ -131,6 +197,17 @@ def main(argv=None) -> int:
                         metavar="SECONDS",
                         help="measured seconds of the reference run "
                              "(default 60)")
+    parser.add_argument("--repeat", type=int, default=3, metavar="N",
+                        help="reference-run repetitions; the best wall "
+                             "is reported (default 3)")
+    parser.add_argument("--engine", default="fast",
+                        choices=("fast", "process"),
+                        help="request engine for the reference cell "
+                             "(default fast)")
+    parser.add_argument("--profile", action="store_true",
+                        help="additionally profile one reference run and "
+                             "write the cProfile top-30 dump to "
+                             "benchmarks/_output/perf_profile.txt")
     parser.add_argument("--sweep-cells", type=int, default=4, metavar="N",
                         help="cells in the jobs=1 vs jobs=cpu sweep "
                              "(default 4)")
@@ -160,15 +237,22 @@ def main(argv=None) -> int:
         "schema": 1,
         "host": {"cpus": os.cpu_count(),
                  "python": sys.version.split()[0]},
-        "reference": measure_reference(args.duration),
+        "reference": measure_reference(
+            args.duration, repeat=args.repeat, engine=args.engine),
     }
     if not args.skip_sweep:
         report["sweep"] = measure_sweep(
             args.sweep_duration, args.sweep_cells, max(jobs, 2))
+    if args.profile:
+        profile_reference(
+            args.duration,
+            REPO_ROOT / "benchmarks" / "_output" / "perf_profile.txt")
 
     reference = report["reference"]
     print(f"reference cell: {reference['scenario']}/"
-          f"{reference['algorithm']} for {reference['duration_s']:g}s sim")
+          f"{reference['algorithm']} ({reference['engine']} engine) "
+          f"for {reference['duration_s']:g}s sim, "
+          f"best of {reference['repeat']}")
     print(f"  events/sec     {reference['events_per_sec']:>12,.0f}")
     print(f"  requests/sec   {reference['requests_per_sec']:>12,.0f}")
     print(f"  wall-clock     {reference['wall_clock_s']:>11.3f}s")

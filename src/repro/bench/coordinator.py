@@ -17,6 +17,7 @@ from repro.balancers.factory import make_balancer
 from repro.core.config import L3Config
 from repro.errors import ConfigError
 from repro.faults.base import FaultInjector
+from repro.mesh.fastdispatch import FastRequestEngine
 from repro.mesh.mesh import ServiceMesh
 from repro.mesh.network import WanLink
 from repro.sim.engine import Simulator
@@ -30,6 +31,13 @@ from repro.workloads.scenarios import Scenario, build_scenario
 
 # The logical service name TIER-like scenarios are deployed under.
 SCENARIO_SERVICE = "api"
+
+# Request-lifecycle engines for scenario benchmarks: "fast" drives each
+# request as a pooled-callback state machine
+# (:mod:`repro.mesh.fastdispatch`); "process" spawns one generator
+# process per request (the original reference implementation). The two
+# are event-order identical — same records, same digests.
+ENGINE_NAMES = ("fast", "process")
 
 
 @dataclass(frozen=True)
@@ -170,6 +178,7 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
                            env: ScenarioBenchConfig | None = None,
                            faults: list | None = None,
                            tracer=None,
+                           engine: str = "fast",
                            ) -> BenchmarkResult:
     """Run one TIER-like scenario under one balancing algorithm.
 
@@ -192,8 +201,16 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
             spans into it, and a controller-based algorithm additionally
             records its decision audit log, joinable to the data-plane
             spans via the ``decision_id`` attribute.
+        engine: request-lifecycle engine, one of :data:`ENGINE_NAMES` —
+            ``"fast"`` (pooled-callback state machines, the default) or
+            ``"process"`` (one generator process per request). Both
+            produce byte-identical results; ``"process"`` remains as the
+            executable specification the fast path is checked against.
     """
     env = env or ScenarioBenchConfig()
+    if engine not in ENGINE_NAMES:
+        raise ConfigError(
+            f"engine must be one of {ENGINE_NAMES}: {engine!r}")
     if isinstance(scenario, str):
         # Always build the canonical 10-minute trace (it is a fixed,
         # deterministic recording); a shorter benchmark simply measures a
@@ -244,7 +261,10 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
     loadgen = OpenLoopLoadGenerator(
         proxy, scenario.rps, rng.stream("loadgen"), records)
     total = env.warmup_s + duration_s
-    sim.spawn(loadgen.run(sim, total), name="loadgen")
+    if engine == "fast":
+        loadgen.start_fast(sim, total, FastRequestEngine(sim, proxy, records))
+    else:
+        sim.spawn(loadgen.run(sim, total), name="loadgen")
 
     sim.run(until=total)
     balancer.stop()

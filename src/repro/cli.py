@@ -68,6 +68,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--outlier-ejection", action="store_true",
                      help="enable the consecutive-failure circuit "
                           "breaker (off by default, as in the paper)")
+    run.add_argument("--engine", choices=("fast", "process"),
+                     default="fast",
+                     help="request-lifecycle engine: 'fast' (pooled "
+                          "callbacks, default) or 'process' (one "
+                          "generator per request); both produce "
+                          "byte-identical results")
 
     export = commands.add_parser(
         "export-trace", help="save a built-in scenario as a JSON trace")
@@ -238,7 +244,8 @@ def main(argv=None) -> int:
             tracer = MeshTracer(TracingConfig(sample_rate=args.trace_sample))
         result = run_scenario_benchmark(
             scenario, args.algorithm, duration_s=args.duration,
-            seed=args.seed, env=env, faults=faults, tracer=tracer)
+            seed=args.seed, env=env, faults=faults, tracer=tracer,
+            engine=args.engine)
         _print_result(result)
         if tracer is not None:
             _export_traces(tracer, args.trace, args.trace_format)

@@ -28,6 +28,9 @@ DOWN_MODES = ("fail_fast", "blackhole")
 class Replica:
     """One replica (pod) of a service deployment in some cluster."""
 
+    __slots__ = ("sim", "name", "profile", "rng", "server", "completed",
+                 "failed", "up", "down_mode", "_blackhole_gates")
+
     def __init__(self, sim: Simulator, name: str, profile: BackendProfile,
                  rng, capacity: int = 64):
         """Args:

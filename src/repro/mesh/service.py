@@ -18,6 +18,10 @@ from repro.workloads.profiles import BackendProfile
 class Backend:
     """A service's deployment in one cluster: a set of replicas."""
 
+    __slots__ = ("sim", "service", "cluster", "name", "profile",
+                 "_rng_registry", "_replica_capacity", "_next_replica_id",
+                 "_rr_index", "replicas")
+
     def __init__(self, sim: Simulator, service: str, cluster: str,
                  profile: BackendProfile, rng_registry,
                  replicas: int = 3, replica_capacity: int = 64):

@@ -18,6 +18,10 @@ from repro.sim.engine import Simulator
 class TrafficSplit:
     """Weighted traffic distribution between a service's backends."""
 
+    __slots__ = ("sim", "service", "propagation_delay_s", "_weights",
+                 "_total", "_generation", "_applied_generation",
+                 "update_count")
+
     def __init__(self, sim: Simulator, service: str, backend_names,
                  propagation_delay_s: float = 0.5):
         """Args:
@@ -39,6 +43,9 @@ class TrafficSplit:
         self.service = service
         self.propagation_delay_s = propagation_delay_s
         self._weights: dict[str, int] = {name: 1 for name in names}
+        # Cached sum of active weights: pick() runs once per request,
+        # weights change a few times a minute.
+        self._total = len(names)
         self._generation = itertools.count(1)
         self._applied_generation = 0
         self.update_count = 0
@@ -60,6 +67,7 @@ class TrafficSplit:
         if weight < 0 or int(weight) != weight:
             raise MeshError(f"invalid initial weight: {weight}")
         self._weights[name] = int(weight)
+        self._total = sum(self._weights.values())
 
     def remove_backend(self, name: str) -> None:
         """Remove a target service; the last backend cannot be removed."""
@@ -68,6 +76,7 @@ class TrafficSplit:
         if len(self._weights) == 1:
             raise MeshError("cannot remove the last backend")
         del self._weights[name]
+        self._total = sum(self._weights.values())
 
     def set_weights(self, weights: dict[str, int], now: float) -> None:
         """Write new weights; they activate after the propagation delay.
@@ -99,11 +108,12 @@ class TrafficSplit:
             return
         self._applied_generation = generation
         self._weights.update(weights)
+        self._total = sum(self._weights.values())
         self.update_count += 1
 
     def pick(self, rng) -> str:
         """Pick a backend proportionally to the active weights."""
-        total = sum(self._weights.values())
+        total = self._total
         if total <= 0:
             # All-zero weights would blackhole traffic; fall back to uniform
             # (the SMI spec leaves this undefined; Linkerd errors requests,

@@ -1,0 +1,73 @@
+"""Allocation-lean callback scheduling for flat state machines.
+
+The generator engine (:mod:`repro.sim.process`) pays, per hop, one
+``Timeout`` allocation, one callback-list append, and one generator
+resume through :meth:`Process._resume`. For per-request lifecycles that
+run millions of hops, that overhead dominates the simulation — the same
+per-request-object bottleneck that pushes real data planes (Envoy,
+Linkerd) toward callback state machines.
+
+:class:`FastPath` is the kernel-side substrate for such state machines:
+a thin facade over one :class:`~repro.sim.events.EventPool` that
+schedules pre-bound zero-argument callbacks on the owning simulator's
+ordinary agenda. Fast-path events share the heap (and therefore the
+time-then-insertion-order tie-break) with every legacy event, so a
+machine that performs the same heap insertions as its generator
+reference in the same code positions is *event-order identical* to it —
+the property the golden-digest determinism suite pins down.
+
+The request state machine itself lives in the mesh layer
+(:mod:`repro.mesh.fastdispatch`); this module knows nothing about
+proxies or replicas.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import EventPool, PooledCallback
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class FastPath:
+    """Pooled callback scheduling bound to one simulator.
+
+    Usage from a state machine::
+
+        fast = FastPath(sim)
+        fast.schedule(0.25, machine._on_timeout)   # fires once, recycled
+        gate = fast.gate(machine._on_wakeup)       # fired via .succeed()
+
+    Scheduled callbacks are plain agenda events: they interleave with
+    generator processes, ``call_at`` callbacks and timeouts under the
+    simulator's usual deterministic ordering.
+    """
+
+    __slots__ = ("sim", "pool")
+
+    def __init__(self, sim: "Simulator", max_free: int = 512):
+        self.sim = sim
+        self.pool = EventPool(sim, max_free=max_free)
+
+    def schedule(self, delay: float, fn) -> PooledCallback:
+        """Run ``fn()`` ``delay`` seconds from now (pooled event)."""
+        return self.pool.schedule(delay, fn)
+
+    def gate(self, fn) -> PooledCallback:
+        """An unscheduled pooled event; ``succeed()`` it to run ``fn()``.
+
+        The returned event can sit in any wait queue whose owner wakes
+        sleepers via ``event.succeed()`` (server wait queues, blackhole
+        gates); firing recycles it back into the pool.
+        """
+        return self.pool.gate(fn)
+
+    def stats(self) -> dict:
+        """Pool telemetry: allocations avoided is ``reused``."""
+        return {
+            "created": self.pool.created,
+            "reused": self.pool.reused,
+            "free": len(self.pool),
+        }

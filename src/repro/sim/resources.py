@@ -27,6 +27,8 @@ class Server:
             server.release()
     """
 
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters")
+
     def __init__(self, sim: Simulator, capacity: int):
         if capacity < 1:
             raise SimulationError(f"server capacity must be >= 1: {capacity}")
@@ -54,6 +56,28 @@ class Server:
         else:
             self._waiters.append(event)
         return event
+
+    def try_acquire(self) -> bool:
+        """Grab a slot without an event if one is free right now.
+
+        The fast-path (allocation-free) side of :meth:`acquire`: returns
+        ``True`` with the slot held, or ``False`` without queueing
+        anything — callers that get ``False`` park a waiter via
+        :meth:`enqueue_waiter`.
+        """
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return True
+        return False
+
+    def enqueue_waiter(self, event: Event) -> None:
+        """Queue ``event`` for the next free slot (FIFO with acquire()).
+
+        ``event`` may be any agenda event woken via ``succeed()`` —
+        including a pooled callback from the fast-path engine; it shares
+        one FIFO with generator-based acquirers.
+        """
+        self._waiters.append(event)
 
     def release(self) -> None:
         """Free one slot, handing it to the oldest waiter if any."""

@@ -17,6 +17,13 @@ Z_P90 = 1.2815515655446004
 Z_P99 = 2.3263478740408408
 Z_P999 = 3.090232306167813
 
+# Kinderman–Monahan ratio-of-uniforms constant, the exact expression
+# CPython's ``random.normalvariate`` uses. Hot sampling sites inline the
+# stdlib rejection loop (two Python frames per draw otherwise); the bit
+# pattern must match ``random.NV_MAGICCONST`` so inlined draws consume the
+# stream identically — asserted in ``tests/sim/test_rng.py``.
+NV_MAGICCONST = 4 * math.exp(-0.5) / math.sqrt(2.0)
+
 
 class RngRegistry:
     """A factory of independent, deterministically-seeded RNG streams."""

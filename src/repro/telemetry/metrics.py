@@ -83,16 +83,20 @@ class BackendTelemetry:
         self.failure_latency = LatencyHistogram()
         self.inflight = Gauge()
 
+    # The two hooks below run once per request attempt; the Gauge/Counter
+    # inc()/dec() calls are inlined (same `+= 1.0` the methods perform —
+    # the amounts are constants, so the validation they'd do is vacuous).
+
     def on_request_sent(self) -> None:
         """Record a request leaving the proxy toward this backend."""
-        self.inflight.inc()
+        self.inflight._value += 1.0
 
     def on_response(self, latency_s: float, success: bool) -> None:
         """Record a completed request (response or failure observed)."""
-        self.inflight.dec()
-        self.requests_total.inc()
+        self.inflight._value -= 1.0
+        self.requests_total._value += 1.0
         if success:
             self.success_latency.observe(latency_s)
         else:
-            self.failures_total.inc()
+            self.failures_total._value += 1.0
             self.failure_latency.observe(latency_s)

@@ -49,7 +49,10 @@ class OpenLoopLoadGenerator:
         self.generated = 0
 
     def _gap(self, now: float) -> float:
-        rate = max(self.rps.value_at(now), 1e-9)
+        series = self.rps
+        rate = series._values[0] if series._constant else series.value_at(now)
+        if rate < 1e-9:
+            rate = 1e-9
         if self.arrival == "poisson":
             return self.rng.expovariate(rate)
         return 1.0 / rate
@@ -76,3 +79,117 @@ class OpenLoopLoadGenerator:
             sim.spawn(self._one_request(intended),
                       name=f"request-{self.generated}")
             self.generated += 1
+
+    def start_fast(self, sim, duration_s: float, dispatcher) -> None:
+        """Drive the same schedule through a callback dispatcher.
+
+        The fast-path twin of :meth:`run`: instead of one generator
+        process yielding a fresh timeout per arrival, a
+        :class:`_FastArrivals` driver pre-draws inter-arrival gaps in
+        chunks from the same private random stream (same draws, same
+        order — the schedule is a pure function of the load series and
+        the stream) and emits each arrival as one pooled callback.
+
+        Args:
+            dispatcher: a callback-mode request engine — anything with
+                ``dispatch(intended_start_s)`` (non-generator) and a
+                ``fast`` :class:`~repro.sim.fastpath.FastPath`, i.e. a
+                :class:`~repro.mesh.fastdispatch.FastRequestEngine`.
+        """
+        if duration_s <= 0:
+            raise ConfigError(f"duration must be positive: {duration_s}")
+        _FastArrivals(self, sim, dispatcher, duration_s)
+
+
+class _FastArrivals:
+    """Chunked pre-drawn open-loop arrivals for the fast-path engine.
+
+    Event-order mirror of :meth:`OpenLoopLoadGenerator.run`: one delay-0
+    bootstrap hop (the spawned process's bootstrap event), then per
+    arrival the request's dispatch hop enters the agenda *before* the
+    next arrival's timeout — the generator loop's exact insertion order,
+    so heap tie-breaks are unchanged.
+
+    Gap values are identical too: the trajectory ``t += gap(t)`` uses the
+    same float accumulation the simulator clock performs, so every
+    ``rps.value_at`` query and every Poisson draw sees the exact times
+    the generator engine would, just drawn ``CHUNK`` at a time instead of
+    one per wakeup. The terminal draw that crosses the deadline is
+    consumed and discarded, as the generator's final loop iteration does.
+    """
+
+    CHUNK = 1024
+
+    __slots__ = ("loadgen", "sim", "dispatcher", "duration_s", "deadline",
+                 "_sched", "_gaps", "_index", "_trajectory_t", "_exhausted",
+                 "_boot_cb", "_tick_cb")
+
+    def __init__(self, loadgen, sim, dispatcher, duration_s: float):
+        self.loadgen = loadgen
+        self.sim = sim
+        self.dispatcher = dispatcher
+        self.duration_s = duration_s
+        self.deadline = 0.0
+        self._sched = dispatcher.fast.pool.schedule
+        self._gaps: list = []
+        self._index = 0
+        self._trajectory_t = 0.0
+        self._exhausted = False
+        self._boot_cb = self._boot
+        self._tick_cb = self._tick
+        # Mirror of the loadgen process's bootstrap event.
+        self._sched(0.0, self._boot_cb)
+
+    def _boot(self) -> None:
+        now = self.sim.now
+        self.deadline = now + self.duration_s
+        self._trajectory_t = now
+        self._schedule_next()
+
+    def _refill(self) -> None:
+        gap_of = self.loadgen._gap
+        t = self._trajectory_t
+        deadline = self.deadline
+        gaps = self._gaps
+        gaps.clear()
+        self._index = 0
+        for _ in range(self.CHUNK):
+            gap = gap_of(t)
+            if t + gap >= deadline:
+                # The generator draws this terminal gap and returns
+                # without using it; consuming it keeps the stream aligned.
+                self._exhausted = True
+                break
+            t = t + gap
+            gaps.append(gap)
+        self._trajectory_t = t
+
+    def _schedule_next(self) -> None:
+        if self._index >= len(self._gaps):
+            if self._exhausted:
+                return
+            self._refill()
+            if self._index >= len(self._gaps):
+                return
+        gap = self._gaps[self._index]
+        self._index += 1
+        self._sched(gap, self._tick_cb)
+
+    def _tick(self) -> None:
+        # sim.now is exactly the scheduled arrival time: the agenda stores
+        # now + gap, the same accumulation _refill performed.
+        self.dispatcher.dispatch(self.sim.now)
+        self.loadgen.generated += 1
+        # _schedule_next() inlined — this hop fires once per request.
+        index = self._index
+        gaps = self._gaps
+        if index >= len(gaps):
+            if self._exhausted:
+                return
+            self._refill()
+            index = 0
+            gaps = self._gaps
+            if not gaps:
+                return
+        self._index = index + 1
+        self._sched(gaps[index], self._tick_cb)

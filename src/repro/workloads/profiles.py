@@ -11,10 +11,11 @@ log-normal).
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
-from repro.sim.rng import Z_P99, sample_lognormal
+from repro.sim.rng import NV_MAGICCONST, Z_P99
 
 
 class PiecewiseSeries:
@@ -25,6 +26,8 @@ class PiecewiseSeries:
     values, unless ``period_s`` is given, in which case time wraps (so a
     10-minute trace can drive an arbitrarily long run).
     """
+
+    __slots__ = ("_times", "_values", "period_s", "_constant", "_seg")
 
     def __init__(self, points, period_s: float | None = None):
         pts = sorted((float(t), float(v)) for t, v in points)
@@ -39,24 +42,40 @@ class PiecewiseSeries:
         self._times = times
         self._values = [v for _t, v in pts]
         self.period_s = period_s
+        # A one-point series is the same value everywhere (with or
+        # without a period) — the common case for constant RPS and
+        # failure-probability profiles, queried once or more per request.
+        self._constant = len(times) == 1
+        # Cached interior segment index for value_at: queries arrive in
+        # (nearly) monotone time order, so the segment found last time
+        # almost always still contains the next query — one compare
+        # instead of a bisect.
+        self._seg = 1 if len(times) > 1 else 0
 
     def value_at(self, now: float) -> float:
         """The interpolated series value at time ``now``."""
-        t = now
-        if self.period_s is not None:
-            t = now % self.period_s
+        if self._constant:
+            return self._values[0]
+        period = self.period_s
+        t = now if period is None else now % period
         times, values = self._times, self._values
         if t <= times[0]:
             # With a period, the gap from the last point back to the first
             # wraps around; interpolate across the seam.
-            if self.period_s is not None and len(times) > 1:
+            if period is not None:
                 return self._wrap_interpolate(t)
             return values[0]
         if t >= times[-1]:
-            if self.period_s is not None and len(times) > 1:
+            if period is not None:
                 return self._wrap_interpolate(t)
             return values[-1]
-        index = bisect.bisect_right(times, t)
+        # The invariant mirrors bisect_right exactly (left edge closed,
+        # right edge open), so a cache hit lands in the very segment a
+        # bisect would — including queries exactly on a control point.
+        index = self._seg
+        if not times[index - 1] <= t < times[index]:
+            index = bisect.bisect_right(times, t)
+            self._seg = index
         t0, t1 = times[index - 1], times[index]
         v0, v1 = values[index - 1], values[index]
         return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
@@ -114,13 +133,33 @@ class BackendProfile:
 
     def sample_service_time(self, rng, now: float) -> float:
         """Draw one service time from the current log-normal distribution."""
-        median = max(self.median_latency_s.value_at(now), 1e-6)
-        p99 = max(self.p99_latency_s.value_at(now), median)
-        return sample_lognormal(rng, median, p99, Z_P99)
+        series = self.median_latency_s
+        median = series._values[0] if series._constant else series.value_at(now)
+        if median < 1e-6:
+            median = 1e-6
+        series = self.p99_latency_s
+        p99 = series._values[0] if series._constant else series.value_at(now)
+        # sample_lognormal() and the stdlib's lognormvariate /
+        # normalvariate (Kinderman–Monahan) are inlined — one draw per
+        # request executed, three Python frames otherwise. Identical
+        # float operation order keeps the draws bit-identical.
+        if p99 <= median:
+            return median
+        mu = math.log(median)
+        sigma = (math.log(p99) - mu) / Z_P99
+        rand = rng.random
+        while True:
+            u1 = rand()
+            u2 = 1.0 - rand()
+            z = NV_MAGICCONST * (u1 - 0.5) / u2
+            if z * z / 4.0 <= -math.log(u2):
+                break
+        return math.exp(mu + z * sigma)
 
     def sample_failure(self, rng, now: float) -> bool:
         """Whether this request fails, per the current failure probability."""
-        prob = self.failure_prob.value_at(now)
+        series = self.failure_prob
+        prob = series._values[0] if series._constant else series.value_at(now)
         if prob <= 0.0:
             return False
         return rng.random() < prob

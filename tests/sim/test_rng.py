@@ -1,15 +1,44 @@
 """Tests for deterministic RNG streams and log-normal helpers."""
 
 import math
+import random
 
 import pytest
 
 from repro.sim.rng import (
+    NV_MAGICCONST,
     RngRegistry,
     Z_P99,
     lognormal_params_from_percentiles,
     sample_lognormal,
 )
+
+
+class TestInlinedDrawEquivalence:
+    """The hot paths inline ``Random.lognormvariate`` (Kinderman-Monahan);
+    the inlined copies must consume the underlying stream identically."""
+
+    def test_magic_constant_is_bit_identical_to_stdlib(self):
+        assert NV_MAGICCONST == random.NV_MAGICCONST
+
+    def test_inlined_algorithm_matches_lognormvariate(self):
+        rng = random.Random(42)
+        clone = random.Random()
+        clone.setstate(rng.getstate())
+        for _ in range(500):
+            mu, sigma = 0.25, 1.5
+            expected = rng.lognormvariate(mu, sigma)
+            # The exact loop inlined in profiles.py / network.py.
+            clone_random = clone.random
+            while True:
+                u1 = clone_random()
+                u2 = 1.0 - clone_random()
+                z = NV_MAGICCONST * (u1 - 0.5) / u2
+                zz = z * z / 4.0
+                if zz <= -math.log(u2):
+                    break
+            assert math.exp(mu + z * sigma) == expected
+            assert clone.getstate() == rng.getstate()
 
 
 class TestRegistry:
