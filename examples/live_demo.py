@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Live testbed demo: the real L3 control loop over real sockets.
+
+Boots three "clusters" as asyncio HTTP servers on localhost — one of
+them with its latency degraded 5x — routes an open-loop load through the
+live weighted proxy, scrapes real Prometheus text ``/metrics`` pages
+over HTTP, and lets the **unmodified** L3 controller react. Prints the
+weight trajectory as it shifts traffic away from the slow backend, then
+the final latency spectrum.
+
+Everything runs on 127.0.0.1 and wall-clock time: this is the same
+controller code the simulator drives, demonstrated against real network
+I/O, real scheduling jitter, and real sleeps.
+
+Run with::
+
+    python examples/live_demo.py [duration_seconds] [port_base]
+"""
+
+import sys
+
+from repro.analysis.report import render_spectrum
+from repro.live import LiveConfig, LiveHarness, weight_points
+from repro.workloads.profiles import BackendProfile, constant_series
+from repro.workloads.scenarios import Scenario
+
+DEGRADED = "cluster-2"
+
+
+def latency_profile(median_s: float) -> BackendProfile:
+    return BackendProfile(
+        median_latency_s=constant_series(median_s),
+        p99_latency_s=constant_series(median_s * 3.0),
+        failure_prob=constant_series(0.0))
+
+
+def build_scenario(duration_s: float) -> Scenario:
+    profiles = {
+        "cluster-1": latency_profile(0.040),
+        DEGRADED: latency_profile(0.200),  # 5x the healthy clusters
+        "cluster-3": latency_profile(0.040),
+    }
+    return Scenario("live-demo", duration_s, profiles,
+                    constant_series(80.0),
+                    "three live clusters, one 5x degraded")
+
+
+def main() -> None:
+    duration_s = float(sys.argv[1]) if len(sys.argv) > 1 else 20.0
+    port_base = int(sys.argv[2]) if len(sys.argv) > 2 else 18080
+
+    config = LiveConfig(
+        algorithm="l3", duration_s=duration_s, port_base=port_base,
+        rps=80.0, scrape_interval_s=1.0, reconcile_interval_s=1.0)
+    harness = LiveHarness(build_scenario(duration_s), config)
+
+    print(f"live run: 3 clusters on 127.0.0.1:{port_base}+, "
+          f"{DEGRADED} degraded 5x, {duration_s:.0f}s of L3 control")
+    result = harness.run()
+
+    print()
+    print(f"weight trajectory ({DEGRADED} share of 100, uniform start "
+          f"at 33.3):")
+    for when, weights in harness.weight_history:
+        share = weight_points(weights)[f"api/{DEGRADED}"]
+        bar = "#" * round(share)
+        print(f"  t={when:5.1f}s  {share:5.1f}  {bar}")
+
+    points = weight_points(result.controller_weights)
+    print()
+    print(f"final weights: {result.controller_weights}")
+    print(f"final {DEGRADED} share: {points[f'api/{DEGRADED}']:.1f} "
+          f"weight points")
+    print()
+    print(render_spectrum(result.records, title="client latency spectrum"))
+    print(f"requests: {result.request_count}, "
+          f"success rate {result.success_rate * 100.0:.2f} %, "
+          f"clean shutdown: {harness.clean_shutdown}")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,9 @@ simulator (:mod:`repro.sim`), a multi-cluster service-mesh data plane
 (:mod:`repro.telemetry`), the comparison balancers (:mod:`repro.balancers`),
 synthetic equivalents of the paper's trace scenarios plus the
 DeathStarBench hotel-reservation call graph (:mod:`repro.workloads`), and
-the benchmark harness regenerating every figure (:mod:`repro.bench`).
+the benchmark harness regenerating every figure (:mod:`repro.bench`), and
+a live localhost testbed that runs the same controller stack against a
+real networked mesh over asyncio sockets (:mod:`repro.live`).
 
 Quickstart::
 
@@ -53,6 +55,7 @@ from repro.faults import (
     ScrapeOutage,
     parse_fault_spec,
 )
+from repro.live.harness import LiveConfig, LiveHarness, run_live
 from repro.mesh.ejection import OutlierEjectionConfig
 from repro.tracing import (
     DecisionAuditLog,
@@ -84,6 +87,8 @@ __all__ = [
     "LeaseLock",
     "LinkDegradation",
     "LinkPartition",
+    "LiveConfig",
+    "LiveHarness",
     "MeshTracer",
     "MetricSample",
     "OutlierEjectionConfig",
@@ -106,6 +111,7 @@ __all__ = [
     "relative_change",
     "run_callgraph_benchmark",
     "run_hotel_benchmark",
+    "run_live",
     "run_scenario_benchmark",
     "run_social_benchmark",
     "save_scenario",

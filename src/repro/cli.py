@@ -4,6 +4,7 @@ Examples::
 
     python -m repro list
     python -m repro run --scenario scenario-1 --algorithm l3 --duration 120
+    python -m repro live --algorithm l3 --duration 30 --report live.json
     python -m repro hotel --algorithm l3 --rps 200 --duration 120
     python -m repro figure fig9 --fast
 """
@@ -15,6 +16,7 @@ import sys
 
 from repro.balancers.factory import BALANCER_NAMES
 from repro.bench.coordinator import run_hotel_benchmark, run_scenario_benchmark
+from repro.live.harness import LIVE_ALGORITHMS
 from repro.tracing import TRACE_FORMATS
 from repro.workloads.scenarios import SCENARIO_NAMES
 
@@ -75,6 +77,31 @@ def _build_parser() -> argparse.ArgumentParser:
                           "generator per request); both produce "
                           "byte-identical results")
 
+    live = commands.add_parser(
+        "live", help="run the live localhost testbed (real sockets, "
+                     "wall-clock, same controller code)")
+    live.add_argument("--scenario", choices=SCENARIO_NAMES,
+                      default="scenario-1")
+    live.add_argument("--scenario-file", metavar="FILE", default=None,
+                      help="run a scenario loaded from a JSON trace file "
+                           "instead of a built-in one")
+    live.add_argument("--algorithm", choices=LIVE_ALGORITHMS, default="l3")
+    live.add_argument("--duration", type=float, default=30.0,
+                      help="wall-clock seconds of load (default 30)")
+    live.add_argument("--port-base", type=int, default=18080,
+                      help="first localhost port to bind (collisions walk "
+                           "upward; default 18080)")
+    live.add_argument("--seed", type=int, default=1)
+    live.add_argument("--rps", type=float, default=100.0,
+                      help="offered load (default 100; 0 uses the "
+                           "scenario's own RPS series)")
+    live.add_argument("--ha-replicas", type=int, default=1, metavar="N",
+                      help="controller replicas competing over a lease "
+                           "(default 1 = no HA)")
+    live.add_argument("--report", metavar="OUT", default=None,
+                      help="write a JSON run report (latency summary, "
+                           "weight trajectory, shutdown state) to OUT")
+
     export = commands.add_parser(
         "export-trace", help="save a built-in scenario as a JSON trace")
     export.add_argument("scenario", choices=SCENARIO_NAMES)
@@ -124,6 +151,34 @@ def _print_result(result) -> None:
     print(f"  success rate {result.success_rate * 100.0:.2f} %")
     if result.controller_weights:
         print(f"  final weights {result.controller_weights}")
+
+
+def _write_live_report(result, harness, path: str) -> None:
+    """One JSON document per live run — the CI smoke job's artifact."""
+    import json
+
+    latencies = result.latency_percentiles()
+    report = {
+        "scenario": result.scenario,
+        "algorithm": result.algorithm,
+        "seed": result.seed,
+        "duration_s": result.duration_s,
+        "requests": result.request_count,
+        "success_rate": result.success_rate,
+        "latency_ms": {
+            key: value * 1000.0
+            for key, value in latencies.summary().items()
+        } if result.records else {},
+        "final_weights": result.controller_weights,
+        "weight_updates": len(harness.weight_history),
+        "ports": harness.ports,
+        "clean_shutdown": harness.clean_shutdown,
+        "leaked_tasks": harness.leaked_tasks,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"  wrote report to {path}")
 
 
 def _chart_bar_experiment(experiment) -> None:
@@ -250,6 +305,28 @@ def main(argv=None) -> int:
         if tracer is not None:
             _export_traces(tracer, args.trace, args.trace_format)
         return 0
+
+    if args.command == "live":
+        from repro.live import LiveConfig, LiveHarness
+
+        scenario = args.scenario
+        if args.scenario_file is not None:
+            from repro.workloads.traceio import load_scenario
+
+            scenario = load_scenario(args.scenario_file)
+        config = LiveConfig(
+            algorithm=args.algorithm, duration_s=args.duration,
+            port_base=args.port_base, seed=args.seed,
+            rps=args.rps if args.rps > 0 else None,
+            ha_replicas=args.ha_replicas)
+        harness = LiveHarness(scenario, config)
+        result = harness.run()
+        _print_result(result)
+        if not harness.clean_shutdown:
+            print(f"  DIRTY SHUTDOWN: leaked tasks {harness.leaked_tasks}")
+        if args.report is not None:
+            _write_live_report(result, harness, args.report)
+        return 0 if harness.clean_shutdown else 1
 
     if args.command == "export-trace":
         from repro.workloads.scenarios import build_scenario

@@ -19,26 +19,48 @@ from repro.errors import ConfigError, Interrupted
 
 
 class LeaseLock:
-    """A TTL lease: one holder at a time, renewable, expiring on silence."""
+    """A TTL lease: one holder at a time, renewable, expiring on silence.
 
-    def __init__(self, ttl_s: float = 15.0):
+    Time is explicit: every method takes ``now``. For wall-clock use (the
+    live testbed's HA mode) a ``clock`` callable can be attached instead,
+    and ``now`` may then be omitted — the lease reads the clock itself,
+    so simulated and live deployments share one lease implementation.
+    """
+
+    def __init__(self, ttl_s: float = 15.0, clock=None):
+        """Args:
+            ttl_s: lease time-to-live; a silent holder loses the lease
+                this long after its last renewal.
+            clock: optional zero-argument callable returning the current
+                time; used when ``now`` is omitted (wall-clock mode).
+        """
         if ttl_s <= 0:
             raise ConfigError(f"lease TTL must be positive: {ttl_s}")
         self.ttl_s = ttl_s
+        self.clock = clock
         self._holder: str | None = None
         self._expires_at: float = float("-inf")
         self.transitions: list[tuple[float, str]] = []
 
-    def holder(self, now: float) -> str | None:
-        """The current holder, or None if the lease has expired."""
-        return self._holder if now < self._expires_at else None
+    def _now(self, now: float | None) -> float:
+        if now is not None:
+            return now
+        if self.clock is None:
+            raise ConfigError(
+                "LeaseLock needs an explicit 'now' unless built with a clock")
+        return self.clock()
 
-    def try_acquire(self, candidate: str, now: float) -> bool:
+    def holder(self, now: float | None = None) -> str | None:
+        """The current holder, or None if the lease has expired."""
+        return self._holder if self._now(now) < self._expires_at else None
+
+    def try_acquire(self, candidate: str, now: float | None = None) -> bool:
         """Acquire (or renew) the lease; returns True if held afterwards.
 
         The current holder always renews; anyone else succeeds only once
         the lease has expired.
         """
+        now = self._now(now)
         current = self.holder(now)
         if current is not None and current != candidate:
             return False
@@ -48,8 +70,9 @@ class LeaseLock:
         self._expires_at = now + self.ttl_s
         return True
 
-    def release(self, candidate: str, now: float) -> None:
+    def release(self, candidate: str, now: float | None = None) -> None:
         """Voluntarily give the lease up (graceful shutdown)."""
+        now = self._now(now)
         if self.holder(now) == candidate:
             self._expires_at = now
 
@@ -77,7 +100,7 @@ class ControllerReplica:
     def crashed(self) -> bool:
         return self._crashed
 
-    def is_leader(self, now: float) -> bool:
+    def is_leader(self, now: float | None = None) -> bool:
         return self.lease.holder(now) == self.name
 
     def crash(self) -> None:
@@ -88,10 +111,16 @@ class ControllerReplica:
         """Bring a crashed replica back (it rejoins the election)."""
         self._crashed = False
 
-    def step(self, now: float) -> bool:
-        """One loop iteration; returns True if it reconciled as leader."""
+    def step(self, now: float | None = None) -> bool:
+        """One loop iteration; returns True if it reconciled as leader.
+
+        With ``now`` omitted the shared lease's clock supplies the time —
+        the wall-clock mode the live testbed's HA control loop uses.
+        """
         if self._crashed:
             return False
+        if now is None:
+            now = self.lease._now(None)
         if not self.lease.try_acquire(self.name, now):
             return False
         self.controller.reconcile(now)

@@ -1,0 +1,58 @@
+"""The live localhost testbed: the real L3 control plane over sockets.
+
+Runs the **unmodified** controller stack — ``L3Controller``,
+``PromMetricsSource``, ``TimeSeriesStore`` — against a real networked
+mesh on localhost: asyncio HTTP replica servers whose latency/failure
+behaviour follows the same :class:`~repro.workloads.profiles.BackendProfile`
+schedules the simulator uses, a client-side weighted proxy speaking the
+``mesh`` data-plane semantics over TCP, a Prometheus text-exposition
+``/metrics`` endpoint, an HTTP scrape loop, and an open-loop load
+generator. The simulation validates the control algorithm against a
+model; the live harness validates it against the realities a model hides
+(scheduling jitter, socket teardown, wall-clock scrape skew).
+DESIGN.md §5e states the parity contract between the two substrates.
+"""
+
+from repro.live.clock import FakeClock, WallClock
+from repro.live.control import ControllerStepper, LiveControlLoop, ha_replicas
+from repro.live.exposition import parse_exposition, render_exposition
+from repro.live.harness import (
+    LIVE_ALGORITHMS,
+    LiveConfig,
+    LiveHarness,
+    live_c3_config,
+    live_l3_config,
+    run_live,
+    weight_points,
+)
+from repro.live.loadgen import LiveLoadGenerator
+from repro.live.proxy import HttpTransport, LiveProxy
+from repro.live.scrape import HttpScraper, fetch_metrics
+from repro.live.server import MetricsServer, ReplicaServer, start_http_server
+from repro.live.split import LiveTrafficSplit
+
+__all__ = [
+    "LIVE_ALGORITHMS",
+    "ControllerStepper",
+    "FakeClock",
+    "HttpScraper",
+    "HttpTransport",
+    "LiveConfig",
+    "LiveControlLoop",
+    "LiveHarness",
+    "LiveLoadGenerator",
+    "LiveProxy",
+    "LiveTrafficSplit",
+    "MetricsServer",
+    "ReplicaServer",
+    "WallClock",
+    "fetch_metrics",
+    "ha_replicas",
+    "live_c3_config",
+    "live_l3_config",
+    "parse_exposition",
+    "render_exposition",
+    "run_live",
+    "start_http_server",
+    "weight_points",
+]

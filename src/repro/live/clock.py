@@ -1,0 +1,46 @@
+"""Wall-clock time for the live testbed.
+
+The simulator's convention is "seconds since the run started, starting at
+0.0"; every reusable component (EWMAs, the controller, the lease lock,
+the time-series store) takes ``now`` floats in that frame. The live
+testbed keeps the convention by measuring monotonic wall-clock time
+relative to the harness boot — so :class:`~repro.core.controller.L3Controller`
+and :class:`~repro.telemetry.query.PromMetricsSource` run unchanged on
+either substrate.
+
+Tests that must not sleep use a plain ``lambda: t`` (or
+:class:`FakeClock`) wherever a clock is expected.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class WallClock:
+    """Monotonic seconds since construction (the live run's time origin)."""
+
+    __slots__ = ("_t0",)
+
+    def __init__(self):
+        self._t0 = time.monotonic()
+
+    def __call__(self) -> float:
+        return time.monotonic() - self._t0
+
+
+class FakeClock:
+    """A manually-advanced clock for deterministic, sleep-free tests."""
+
+    __slots__ = ("now",)
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward and return the new reading."""
+        self.now += seconds
+        return self.now

@@ -1,0 +1,238 @@
+"""Prometheus text exposition: emit and parse the scrape metric set.
+
+The live testbed's ``/metrics`` endpoints render exactly the metric
+names the simulated scraper stores (:mod:`repro.telemetry.names`), one
+Prometheus *text exposition format* family per metric, with the
+time-series name (vantage point + backend, e.g.
+``"cluster-1|api/cluster-2"``) carried in the ``series`` label — series
+names contain ``|`` and ``/``, which are invalid in Prometheus metric
+names but fine in label values.
+
+:func:`parse_exposition` is the inverse: it turns a scraped text page
+back into ``{series_name: {metric_name: value}}`` ready to append into a
+:class:`~repro.telemetry.timeseries.TimeSeriesStore` — histogram bucket
+lines collapse into the same cumulative-count tuples
+:meth:`~repro.telemetry.histogram.LatencyHistogram.cumulative_counts`
+produces, so :class:`~repro.telemetry.query.PromMetricsSource` cannot
+tell a live scrape from a simulated one. The emit→parse round-trip is
+pinned against the simulated scraper in ``tests/live/test_exposition.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import TelemetryError
+from repro.telemetry import names
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _unescape_label(value: str) -> str:
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    # repr keeps full precision; integral floats print without the noise.
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _sample(metric: str, series: str, value: float,
+            le: str | None = None) -> str:
+    labels = f'{names.SERIES_LABEL}="{_escape_label(series)}"'
+    if le is not None:
+        labels += f',le="{le}"'
+    return f"{metric}{{{labels}}} {_fmt(value)}"
+
+
+def render_exposition(targets, gauges=(), bucket_bounds=None) -> str:
+    """Render scrape targets as one Prometheus text page.
+
+    Args:
+        targets: iterable of per-backend telemetry bundles — the same
+            duck type :class:`~repro.telemetry.scraper.Scraper` snapshots
+            (``scrape_name``/``backend_name``, counter ``.value``s,
+            histogram ``cumulative_counts()``/``sum``/``count``, inflight
+            gauge).
+        gauges: iterable of ``(series_name, metric_name, read)`` custom
+            gauges, mirroring ``Scraper.register_gauge``.
+        bucket_bounds: histogram ladder of the bundles; defaults to each
+            histogram's own ``bounds``.
+    """
+    lines: list[str] = []
+
+    counters: list[str] = []
+    histograms: dict[str, list[str]] = {
+        family: [] for family in names.HISTOGRAM_FAMILIES.values()}
+    gauge_lines: dict[str, list[str]] = {
+        metric: [] for metric in names.GAUGE_METRICS}
+
+    for telemetry in targets:
+        series = getattr(telemetry, "scrape_name", None) or \
+            telemetry.backend_name
+        counters.append(_sample(
+            names.REQUESTS_TOTAL, series, telemetry.requests_total.value))
+        counters.append(_sample(
+            names.FAILURES_TOTAL, series, telemetry.failures_total.value))
+        for store_metric, family in names.HISTOGRAM_FAMILIES.items():
+            histogram = (telemetry.success_latency
+                         if store_metric == names.SUCCESS_LATENCY_BUCKETS
+                         else telemetry.failure_latency)
+            bounds = bucket_bounds or histogram.bounds
+            cumulative = histogram.cumulative_counts()
+            if len(cumulative) != len(bounds) + 1:
+                raise TelemetryError(
+                    f"{family}: {len(cumulative)} buckets for "
+                    f"{len(bounds)} bounds")
+            out = histograms[family]
+            for bound, count in zip(bounds, cumulative):
+                out.append(_sample(f"{family}_bucket", series, count,
+                                   le=_fmt(bound)))
+            out.append(_sample(f"{family}_bucket", series,
+                               cumulative[-1], le="+Inf"))
+            out.append(_sample(f"{family}_sum", series, histogram.sum))
+            out.append(_sample(f"{family}_count", series, histogram.count))
+        gauge_lines[names.INFLIGHT].append(_sample(
+            names.INFLIGHT, series, telemetry.inflight.value))
+
+    for series, metric, read in gauges:
+        if metric not in gauge_lines:
+            gauge_lines[metric] = []
+        gauge_lines[metric].append(_sample(metric, series, float(read())))
+
+    if counters:
+        lines.append(f"# TYPE {names.REQUESTS_TOTAL} counter")
+        lines.append(f"# TYPE {names.FAILURES_TOTAL} counter")
+        lines.extend(counters)
+    for family, family_lines in histograms.items():
+        if family_lines:
+            lines.append(f"# TYPE {family} histogram")
+            lines.extend(family_lines)
+    for metric, metric_lines in gauge_lines.items():
+        if metric_lines:
+            lines.append(f"# TYPE {metric} gauge")
+            lines.extend(metric_lines)
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq].strip().lstrip(",").strip()
+        if text[eq + 1] != '"':
+            raise TelemetryError(f"unquoted label value in {text!r}")
+        j = eq + 2
+        raw = []
+        while j < len(text):
+            ch = text[j]
+            if ch == "\\":
+                raw.append(text[j:j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise TelemetryError(f"unterminated label value in {text!r}")
+        labels[name] = _unescape_label("".join(raw))
+        i = j + 1
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    text = text.strip()
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise TelemetryError(f"bad sample value: {text!r}") from exc
+
+
+# Exposition metric name → store metric name for the scalar families.
+_SCALARS = {name: name for name in
+            names.COUNTER_METRICS + names.GAUGE_METRICS}
+for _family, (_sum_name, _count_name) in names.HISTOGRAM_SUM_COUNT.items():
+    _SCALARS[f"{_family}_sum"] = _sum_name
+    _SCALARS[f"{_family}_count"] = _count_name
+
+_BUCKETS = {f"{family}_bucket": store
+            for store, family in names.HISTOGRAM_FAMILIES.items()}
+
+
+def parse_exposition(text: str) -> dict[str, dict[str, object]]:
+    """Parse one text page into ``{series: {store_metric: value}}``.
+
+    Histogram ``_bucket`` lines are collapsed into cumulative-count
+    tuples in ascending ``le`` order (``+Inf`` last) — the exact value
+    shape the simulated scraper appends. Metric families outside the
+    scrape set (e.g. ``failure_latency_sum``) are ignored, as a real
+    Prometheus ignores series no rule selects.
+    """
+    samples: dict[str, dict[str, object]] = {}
+    buckets: dict[tuple[str, str], list[tuple[float, float]]] = {}
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        brace = line.find("{")
+        if brace < 0:
+            raise TelemetryError(f"sample without labels: {line!r}")
+        metric = line[:brace]
+        end = line.rfind("}")
+        if end < brace:
+            raise TelemetryError(f"malformed labels: {line!r}")
+        labels = _parse_labels(line[brace + 1:end])
+        series = labels.get(names.SERIES_LABEL)
+        if series is None:
+            raise TelemetryError(
+                f"sample without a {names.SERIES_LABEL!r} label: {line!r}")
+        value = _parse_value(line[end + 1:])
+
+        store_metric = _SCALARS.get(metric)
+        if store_metric is not None:
+            samples.setdefault(series, {})[store_metric] = value
+            continue
+        bucket_metric = _BUCKETS.get(metric)
+        if bucket_metric is not None:
+            le = labels.get("le")
+            if le is None:
+                raise TelemetryError(f"bucket without le: {line!r}")
+            buckets.setdefault((series, bucket_metric), []).append(
+                (_parse_value(le), value))
+            continue
+        # Unknown family: not part of the scrape set.
+
+    for (series, store_metric), entries in buckets.items():
+        entries.sort(key=lambda pair: pair[0])
+        counts = tuple(count for _le, count in entries)
+        for earlier, later in zip(counts, counts[1:]):
+            if later < earlier:
+                raise TelemetryError(
+                    f"non-cumulative histogram for {series}/{store_metric}")
+        samples.setdefault(series, {})[store_metric] = counts
+    return samples

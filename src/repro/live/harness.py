@@ -1,0 +1,370 @@
+"""LiveHarness: the real L3 control plane over a real networked mesh.
+
+Boots N "clusters" as asyncio HTTP replica servers on localhost ports
+(latency/failure behaviour driven by the scenario's
+:class:`~repro.workloads.profiles.BackendProfile` schedules), routes an
+open-loop load through a client-side weighted proxy, exposes the proxy's
+telemetry on a Prometheus text ``/metrics`` endpoint, scrapes it over
+HTTP into the existing :class:`~repro.telemetry.timeseries.TimeSeriesStore`,
+and runs the **unmodified** :class:`~repro.core.controller.L3Controller`
+(or the C3 adaptation, or plain round-robin) against it for a wall-clock
+duration — one controller implementation, two substrates.
+
+The run returns the same :class:`~repro.bench.coordinator.BenchmarkResult`
+the simulation coordinator emits, so every report/analysis path works on
+live results unchanged. Shutdown is graceful: the load generator stops
+first, in-flight requests get a bounded drain, control loops are
+cancelled, listeners close — and the harness records whether anything
+leaked (:attr:`LiveHarness.leaked_tasks`, checked by the CI smoke job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field, replace
+
+from repro.balancers.c3 import C3Config, C3Controller
+from repro.balancers.round_robin import RoundRobinBalancer
+from repro.bench.coordinator import SCENARIO_SERVICE, BenchmarkResult
+from repro.core.config import L3Config
+from repro.core.controller import L3Controller
+from repro.errors import ConfigError
+from repro.live.clock import WallClock
+from repro.live.control import ControllerStepper, LiveControlLoop, ha_replicas
+from repro.live.exposition import render_exposition
+from repro.live.loadgen import LiveLoadGenerator
+from repro.live.proxy import LiveProxy
+from repro.live.scrape import HttpScraper
+from repro.live.server import MetricsServer, ReplicaServer
+from repro.live.split import LiveTrafficSplit
+from repro.mesh.cluster import backend_name as make_backend_name
+from repro.sim.rng import RngRegistry
+from repro.telemetry.query import PromMetricsSource
+from repro.telemetry.timeseries import TimeSeriesStore
+from repro.workloads.scenarios import Scenario, build_scenario
+
+# Algorithms the live harness can run. The per-request in-proxy policies
+# (p2c, failover) are omitted: the live testbed exists to exercise the
+# *controller* path (metrics → weights → split).
+LIVE_ALGORITHMS = ("round-robin", "l3", "l3-peak", "c3")
+
+# The paper's control cadence (reconcile every 5 s, 10 s windows) assumes
+# multi-minute runs; live smoke runs last tens of seconds, so the default
+# cadence scales the whole loop down proportionally from this reference.
+_PAPER_INTERVAL_S = 5.0
+
+
+def live_l3_config(reconcile_interval_s: float,
+                   base: L3Config | None = None) -> L3Config:
+    """An L3Config with the paper's loop proportionally re-timed.
+
+    Every time constant of the control loop (windows, EWMA half-lives,
+    staleness horizon) scales by ``reconcile_interval_s / 5 s``, so a
+    1-second live cadence behaves like the paper's 5-second loop does
+    over a 5x longer run. Non-temporal tunables are taken from ``base``.
+    """
+    factor = reconcile_interval_s / _PAPER_INTERVAL_S
+    base = base or L3Config()
+    return replace(
+        base,
+        reconcile_interval_s=reconcile_interval_s,
+        metrics_window_s=base.metrics_window_s * factor,
+        latency_half_life_s=base.latency_half_life_s * factor,
+        inflight_half_life_s=base.inflight_half_life_s * factor,
+        success_half_life_s=base.success_half_life_s * factor,
+        rps_half_life_s=base.rps_half_life_s * factor,
+        staleness_s=base.staleness_s * factor,
+    )
+
+
+def live_c3_config(reconcile_interval_s: float) -> C3Config:
+    """A C3Config re-timed the same way as :func:`live_l3_config`."""
+    factor = reconcile_interval_s / _PAPER_INTERVAL_S
+    base = C3Config()
+    return C3Config(
+        reconcile_interval_s=reconcile_interval_s,
+        metrics_window_s=base.metrics_window_s * factor,
+        latency_half_life_s=base.latency_half_life_s * factor,
+        queue_half_life_s=base.queue_half_life_s * factor,
+    )
+
+
+def weight_points(weights: dict[str, int]) -> dict[str, float]:
+    """Weights normalised to shares of 100 ("weight points")."""
+    total = sum(weights.values())
+    if total <= 0:
+        share = 100.0 / max(len(weights), 1)
+        return {name: share for name in weights}
+    return {name: 100.0 * w / total for name, w in weights.items()}
+
+
+@dataclass
+class LiveConfig:
+    """Environment knobs of one live run."""
+
+    algorithm: str = "l3"
+    duration_s: float = 30.0
+    port_base: int = 18080
+    host: str = "127.0.0.1"
+    client_cluster: str = "cluster-1"
+    seed: int = 1
+    # Offered load; None uses the scenario's own RPS series (typically
+    # hundreds of RPS — heavier than a CI smoke run needs).
+    rps: float | None = 100.0
+    scrape_interval_s: float = 1.0
+    reconcile_interval_s: float = 1.0
+    l3_config: L3Config | None = None
+    replica_capacity: int = 64
+    max_retries: int = 0
+    retry_backoff_s: float = 0.0
+    # Live runs default to a bounded per-attempt deadline: a wedged
+    # localhost socket must not hang a CI job.
+    request_timeout_s: float | None = 5.0
+    outlier_ejection: object | None = None
+    # Controller replicas; > 1 runs lease-based HA (satellite of §4).
+    ha_replicas: int = 1
+    lease_ttl_s: float = 3.0
+    drain_s: float = 5.0
+    arrival: str = "uniform"
+
+    def __post_init__(self):
+        if self.algorithm not in LIVE_ALGORITHMS:
+            raise ConfigError(
+                f"algorithm must be one of {LIVE_ALGORITHMS}: "
+                f"{self.algorithm!r}")
+        if self.duration_s <= 0:
+            raise ConfigError(
+                f"duration must be positive: {self.duration_s}")
+        for name in ("scrape_interval_s", "reconcile_interval_s",
+                     "lease_ttl_s"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.drain_s < 0:
+            raise ConfigError(f"drain_s must be >= 0: {self.drain_s}")
+        if self.ha_replicas < 1:
+            raise ConfigError(
+                f"ha_replicas must be >= 1: {self.ha_replicas}")
+        if not 0 < self.port_base < 65536 - 256:
+            raise ConfigError(f"port_base out of range: {self.port_base}")
+
+
+@dataclass
+class _LiveParts:
+    """Everything the boot phase wires together (torn down in reverse)."""
+
+    servers: dict[str, ReplicaServer] = field(default_factory=dict)
+    metrics_server: MetricsServer | None = None
+    proxy: LiveProxy | None = None
+    split: LiveTrafficSplit | None = None
+    controllers: list = field(default_factory=list)
+    lease: object | None = None
+    scraper: HttpScraper | None = None
+    control: LiveControlLoop | None = None
+    loadgen: LiveLoadGenerator | None = None
+
+
+class LiveHarness:
+    """Orchestrates one live run end to end."""
+
+    def __init__(self, scenario: str | Scenario,
+                 config: LiveConfig | None = None):
+        if isinstance(scenario, str):
+            scenario = build_scenario(scenario)
+        self.scenario = scenario
+        self.config = config or LiveConfig()
+        self.clock = None
+        self.records: list = []
+        self.parts = _LiveParts()
+        # Post-run shutdown accounting, read by the CLI and CI smoke job.
+        self.leaked_tasks: list[str] = []
+        self.ports: list[int] = []
+
+    # ------------------------------------------------------------- boot #
+
+    def _backend_addresses(self) -> list[str]:
+        return [make_backend_name(SCENARIO_SERVICE, cluster)
+                for cluster in self.scenario.clusters()]
+
+    async def _boot_servers(self, rng: RngRegistry) -> dict[str, tuple]:
+        """Start one replica server per cluster; returns name → address."""
+        config = self.config
+        addresses: dict[str, tuple[str, int]] = {}
+        next_port = config.port_base
+        for cluster in self.scenario.clusters():
+            name = make_backend_name(SCENARIO_SERVICE, cluster)
+            server = ReplicaServer(
+                name, self.scenario.cluster_profiles[cluster],
+                rng.stream(f"live-server-{cluster}"), self.clock,
+                host=config.host, capacity=config.replica_capacity)
+            port = await server.start(next_port)
+            self.parts.servers[name] = server
+            addresses[name] = (config.host, port)
+            self.ports.append(port)
+            next_port = port + 1
+        return addresses
+
+    def _build_control_plane(self, backend_names, store: TimeSeriesStore):
+        """Picker + controllers for the configured algorithm."""
+        config = self.config
+        if config.algorithm == "round-robin":
+            return RoundRobinBalancer(backend_names), []
+
+        split = LiveTrafficSplit(SCENARIO_SERVICE, backend_names)
+        self.parts.split = split
+        source = PromMetricsSource(store, scope=config.client_cluster)
+
+        def build_controller():
+            if config.algorithm == "c3":
+                return C3Controller(
+                    list(backend_names), source, split,
+                    config=live_c3_config(config.reconcile_interval_s))
+            l3 = live_l3_config(config.reconcile_interval_s,
+                                base=config.l3_config)
+            l3 = replace(l3, use_peak_ewma=(config.algorithm == "l3-peak"))
+            return L3Controller(list(backend_names), source, split,
+                                config=l3, start_time=0.0)
+
+        controllers = [build_controller()
+                       for _ in range(config.ha_replicas)]
+        return split, controllers
+
+    # -------------------------------------------------------------- run #
+
+    def run(self) -> BenchmarkResult:
+        """Synchronous entry point: boot, run, tear down, report."""
+        return asyncio.run(self.run_async())
+
+    async def run_async(self) -> BenchmarkResult:
+        config = self.config
+        self.clock = self.clock or WallClock()
+        rng = RngRegistry(config.seed)
+        store = TimeSeriesStore()
+
+        addresses = await self._boot_servers(rng)
+        backend_names = list(addresses)
+        picker, controllers = self._build_control_plane(
+            backend_names, store)
+        self.parts.controllers = controllers
+
+        proxy = LiveProxy(
+            config.client_cluster, SCENARIO_SERVICE, addresses,
+            picker, rng.stream("live-proxy"), self.clock,
+            max_retries=config.max_retries,
+            retry_backoff_s=config.retry_backoff_s,
+            request_timeout_s=config.request_timeout_s,
+            outlier_ejection=config.outlier_ejection)
+        self.parts.proxy = proxy
+
+        metrics_server = MetricsServer(
+            lambda: render_exposition(proxy.telemetry_bundles()),
+            host=config.host)
+        metrics_port = await metrics_server.start(
+            max(self.ports, default=config.port_base) + 1)
+        self.parts.metrics_server = metrics_server
+        self.ports.append(metrics_port)
+
+        targets = [(config.host, metrics_port)] + list(addresses.values())
+        scraper = HttpScraper(store, targets, self.clock,
+                              interval_s=config.scrape_interval_s)
+        self.parts.scraper = scraper
+
+        control = None
+        if controllers:
+            if config.ha_replicas > 1:
+                lease, replicas = ha_replicas(
+                    controllers, config.lease_ttl_s, self.clock)
+                self.parts.lease = lease
+                steppers = replicas
+            else:
+                steppers = [ControllerStepper(controllers[0])]
+            control = LiveControlLoop(steppers, self.clock,
+                                     config.reconcile_interval_s)
+        self.parts.control = control
+
+        rps = self.scenario.rps if config.rps is None else config.rps
+        loadgen = LiveLoadGenerator(
+            proxy, rps, rng.stream("live-loadgen"), self.records,
+            self.clock, arrival=config.arrival)
+        self.parts.loadgen = loadgen
+
+        scrape_task = asyncio.ensure_future(scraper.run())
+        control_task = (asyncio.ensure_future(control.run())
+                        if control is not None else None)
+        try:
+            await loadgen.run(config.duration_s)
+        finally:
+            await self._shutdown(scrape_task, control_task)
+        return self._result()
+
+    async def _shutdown(self, scrape_task, control_task) -> None:
+        """Drain in-flight requests, stop loops, release ports."""
+        config = self.config
+        loadgen = self.parts.loadgen
+        if loadgen is not None and loadgen.inflight:
+            _done, pending = await asyncio.wait(
+                set(loadgen.inflight), timeout=config.drain_s)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+        background = [t for t in (scrape_task, control_task)
+                      if t is not None]
+        for task in background:
+            task.cancel()
+        await asyncio.gather(*background, return_exceptions=True)
+
+        if self.parts.metrics_server is not None:
+            await self.parts.metrics_server.stop()
+        for server in self.parts.servers.values():
+            await server.stop()
+
+        current = asyncio.current_task()
+        self.leaked_tasks = sorted(
+            task.get_name() for task in asyncio.all_tasks()
+            if task is not current and not task.done())
+
+    # ----------------------------------------------------------- report #
+
+    @property
+    def clean_shutdown(self) -> bool:
+        """True when teardown left no running tasks behind."""
+        return not self.leaked_tasks
+
+    @property
+    def weight_history(self) -> list[tuple[float, dict[str, int]]]:
+        """The split's applied-weight trajectory (empty for round-robin)."""
+        split = self.parts.split
+        return list(split.history) if split is not None else []
+
+    def final_weights(self) -> dict[str, int]:
+        """The last weights the leader pushed (empty for round-robin)."""
+        for controller in self.parts.controllers:
+            if controller.last_weights:
+                return dict(controller.last_weights)
+        return {}
+
+    def _result(self) -> BenchmarkResult:
+        return BenchmarkResult(
+            scenario=self.scenario.name,
+            algorithm=self.config.algorithm,
+            seed=self.config.seed,
+            duration_s=self.config.duration_s,
+            records=list(self.records),
+            controller_weights=self.final_weights(),
+        )
+
+
+def run_live(scenario: str | Scenario, algorithm: str = "l3",
+             duration_s: float = 30.0, port_base: int = 18080,
+             seed: int = 1, config: LiveConfig | None = None,
+             ) -> tuple[BenchmarkResult, LiveHarness]:
+    """Convenience wrapper: build a harness, run it, return both.
+
+    ``config`` overrides the individual keyword arguments when given.
+    """
+    if config is None:
+        config = LiveConfig(algorithm=algorithm, duration_s=duration_s,
+                            port_base=port_base, seed=seed)
+    harness = LiveHarness(scenario, config)
+    return harness.run(), harness

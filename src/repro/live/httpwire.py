@@ -1,0 +1,106 @@
+"""Minimal HTTP/1.1 over asyncio streams — just enough for the testbed.
+
+The live testbed deliberately speaks plain HTTP over real sockets (that
+is its point: exercising the control plane against OS-level networking,
+scheduling jitter and concurrency), but it must not pull in any HTTP
+framework the container may not have. This module is the shared wire
+layer: request/response serialisation and parsing used by the replica
+servers, the metrics endpoints and the client-side proxy transport.
+
+Connections are one-request-per-connection (``Connection: close``): the
+testbed's request rates are modest, localhost connection setup is cheap,
+and per-request connections make abandoning a timed-out attempt trivial
+— closing the socket is the cancellation, exactly like a client tearing
+down a TCP connection mid-request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import MeshError
+
+# A request/status line plus a handful of headers; anything bigger is not
+# something this testbed ever sends.
+_MAX_HEADER_BYTES = 16384
+
+_REASONS = {200: "OK", 404: "Not Found", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+async def read_head(reader: asyncio.StreamReader) -> tuple[str, list[str]]:
+    """Read one request or response head (first line + header lines).
+
+    Returns ``(first_line, header_lines)``; raises :class:`MeshError` on
+    EOF before a complete head or on an oversized head.
+    """
+    head = await reader.readuntil(b"\r\n\r\n")
+    if len(head) > _MAX_HEADER_BYTES:
+        raise MeshError("HTTP head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    first, headers = lines[0], [line for line in lines[1:] if line]
+    if not first:
+        raise MeshError("empty HTTP head")
+    return first, headers
+
+
+def parse_request_line(line: str) -> tuple[str, str]:
+    """``"GET /work HTTP/1.1"`` → ``("GET", "/work")``."""
+    parts = line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise MeshError(f"malformed request line: {line!r}")
+    return parts[0], parts[1]
+
+
+def parse_status_line(line: str) -> int:
+    """``"HTTP/1.1 200 OK"`` → ``200``."""
+    parts = line.split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise MeshError(f"malformed status line: {line!r}")
+    try:
+        return int(parts[1])
+    except ValueError as exc:
+        raise MeshError(f"malformed status code: {line!r}") from exc
+
+
+def content_length(headers: list[str]) -> int:
+    """The Content-Length header value, or 0 when absent."""
+    for header in headers:
+        name, _sep, value = header.partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                return int(value.strip())
+            except ValueError as exc:
+                raise MeshError(f"bad Content-Length: {value!r}") from exc
+    return 0
+
+
+def response_bytes(status: int, body: bytes,
+                   content_type: str = "text/plain") -> bytes:
+    """Serialise one ``Connection: close`` HTTP response."""
+    reason = _REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("latin-1") + body
+
+
+def request_bytes(method: str, path: str, host: str) -> bytes:
+    """Serialise one ``Connection: close`` HTTP request (no body)."""
+    return (f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin-1")
+
+
+async def close_writer(writer: asyncio.StreamWriter) -> None:
+    """Close a stream writer, swallowing teardown races.
+
+    A peer that already reset the connection (an abandoned, timed-out
+    attempt) makes ``wait_closed`` raise; shutdown must not care.
+    """
+    try:
+        writer.close()
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass

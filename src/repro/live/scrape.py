@@ -1,0 +1,107 @@
+"""The live scrape loop: HTTP /metrics pages into the TimeSeriesStore.
+
+The wall-clock twin of :class:`repro.telemetry.scraper.Scraper`: every
+``interval_s`` it fetches each target's ``/metrics`` page over a real
+socket, parses the Prometheus text exposition
+(:mod:`repro.live.exposition`) and appends every sample into the shared
+:class:`~repro.telemetry.timeseries.TimeSeriesStore` at one capture
+timestamp — after which :class:`~repro.telemetry.query.PromMetricsSource`
+and the controller run unchanged.
+
+A target that fails to answer simply contributes no samples that round
+(counted in :attr:`failed_scrapes`); sustained failure starves the
+window queries into returning ``None``, which is the controller's
+decay-toward-default path — the same behaviour a real Prometheus outage
+produces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import TelemetryError
+from repro.live import httpwire
+from repro.live.exposition import parse_exposition
+from repro.telemetry.timeseries import TimeSeriesStore
+
+
+async def fetch_metrics(host: str, port: int, timeout_s: float = 2.0) -> str:
+    """GET /metrics from one target; returns the page text."""
+
+    async def _get() -> str:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(httpwire.request_bytes("GET", "/metrics",
+                                                f"{host}:{port}"))
+            await writer.drain()
+            first, headers = await httpwire.read_head(reader)
+            status = httpwire.parse_status_line(first)
+            if status != 200:
+                raise TelemetryError(
+                    f"{host}:{port}/metrics answered {status}")
+            length = httpwire.content_length(headers)
+            body = await reader.readexactly(length) if length > 0 else \
+                await reader.read()
+            return body.decode("utf-8")
+        finally:
+            await httpwire.close_writer(writer)
+
+    return await asyncio.wait_for(_get(), timeout_s)
+
+
+class HttpScraper:
+    """Periodically scrapes HTTP exposition targets into a store."""
+
+    def __init__(self, store: TimeSeriesStore, targets, clock,
+                 interval_s: float = 1.0, fetch=None):
+        """Args:
+            store: destination time-series store.
+            targets: iterable of ``(host, port)`` exposition endpoints.
+            clock: zero-argument callable, seconds since the run started.
+            interval_s: scrape cadence.
+            fetch: async ``f(host, port) -> page text`` (defaults to
+                :func:`fetch_metrics`); tests inject a fake to scrape
+                without sockets.
+        """
+        if interval_s <= 0:
+            raise TelemetryError(f"scrape interval must be positive: "
+                                 f"{interval_s}")
+        self.store = store
+        self.targets = list(targets)
+        self.clock = clock
+        self.interval_s = interval_s
+        self._fetch = fetch or fetch_metrics
+        self.scrape_count = 0
+        self.failed_scrapes = 0
+
+    async def scrape_once(self, now: float | None = None) -> int:
+        """Scrape every target once; returns how many targets answered.
+
+        All samples of one round share a single capture timestamp (the
+        round's start), keeping per-series appends time-ordered even when
+        target fetches straddle the next clock tick.
+        """
+        if now is None:
+            now = self.clock()
+        answered = 0
+        for host, port in self.targets:
+            try:
+                text = await self._fetch(host, port)
+                samples = parse_exposition(text)
+            except (OSError, TelemetryError, asyncio.TimeoutError,
+                    TimeoutError, asyncio.IncompleteReadError,
+                    UnicodeDecodeError):
+                self.failed_scrapes += 1
+                continue
+            for series, metrics in samples.items():
+                for metric, value in metrics.items():
+                    self.store.series(series, metric).append(now, value)
+            answered += 1
+        self.scrape_count += 1
+        return answered
+
+    async def run(self) -> None:
+        """Scrape forever on the configured cadence (cancel to stop)."""
+        while True:
+            await asyncio.sleep(self.interval_s)
+            await self.scrape_once()

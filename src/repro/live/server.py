@@ -1,0 +1,189 @@
+"""asyncio HTTP replica servers whose behaviour follows a BackendProfile.
+
+One :class:`ReplicaServer` stands in for a whole cluster-local deployment
+of the service: ``GET /work`` holds a bounded concurrency slot (the
+replica-capacity semantics of :mod:`repro.mesh.replica`), sleeps the
+service time sampled from the profile's current log-normal distribution,
+and answers 200 or 500 per the profile's failure schedule — the failure
+decision is drawn when execution starts and failed requests occupy the
+server for the profile's (fast) failure latency, mirroring the simulated
+replica's semantics. ``GET /metrics`` serves the server-side queue gauge
+in Prometheus text format under the ``server|<backend>`` series name, the
+feedback channel the C3 adaptation reads.
+
+:class:`MetricsServer` is the proxy-side twin: a bare ``/metrics``
+endpoint over a render callable.
+
+Both servers bind with port-collision retry (:func:`start_http_server`)
+and shut down gracefully: the listener closes first, in-flight handlers
+get a bounded drain, stragglers are cancelled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import errno
+
+from repro.errors import MeshError
+from repro.live import httpwire
+from repro.live.exposition import render_exposition
+from repro.telemetry import names as metric_names
+
+# How many consecutive ports to try before giving up on a bind.
+PORT_RETRY_SPAN = 64
+
+
+async def start_http_server(handler, host: str, port: int,
+                            max_tries: int = PORT_RETRY_SPAN,
+                            ) -> tuple[asyncio.Server, int]:
+    """Bind an asyncio server, walking past ports already in use.
+
+    Returns ``(server, bound_port)``; raises :class:`MeshError` when all
+    ``max_tries`` consecutive ports are taken.
+    """
+    for offset in range(max_tries):
+        candidate = port + offset
+        try:
+            server = await asyncio.start_server(handler, host, candidate)
+        except OSError as exc:
+            if exc.errno in (errno.EADDRINUSE, errno.EACCES):
+                continue
+            raise
+        return server, candidate
+    raise MeshError(
+        f"no free port in [{port}, {port + max_tries}) on {host}")
+
+
+class _HttpServerBase:
+    """Common listener lifecycle: bind, track handlers, drain, close."""
+
+    def __init__(self, host: str = "127.0.0.1"):
+        self.host = host
+        self.port: int | None = None
+        self._server: asyncio.Server | None = None
+        self._handlers: set[asyncio.Task] = set()
+
+    async def start(self, port: int) -> int:
+        """Bind (with collision retry) and return the actual port."""
+        if self._server is not None:
+            raise MeshError("server already started")
+        self._server, self.port = await start_http_server(
+            self._handle_connection, self.host, port)
+        return self.port
+
+    async def stop(self, drain_s: float = 2.0) -> None:
+        """Stop listening, drain in-flight handlers, cancel stragglers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._handlers:
+            done, pending = await asyncio.wait(
+                set(self._handlers), timeout=drain_s)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._handlers.clear()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        try:
+            try:
+                first, _headers = await httpwire.read_head(reader)
+                _method, path = httpwire.parse_request_line(first)
+            except (MeshError, asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError, ConnectionError):
+                return
+            status, body = await self._respond(path)
+            writer.write(httpwire.response_bytes(status, body))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            await httpwire.close_writer(writer)
+
+    async def _respond(self, path: str) -> tuple[int, bytes]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class ReplicaServer(_HttpServerBase):
+    """One backend deployment: profile-driven work plus a /metrics page."""
+
+    def __init__(self, backend_name: str, profile, rng, clock,
+                 host: str = "127.0.0.1", capacity: int = 64):
+        """Args:
+            backend_name: mesh-style backend name (``"api/cluster-2"``).
+            profile: :class:`~repro.workloads.profiles.BackendProfile`
+                driving service times and failures.
+            rng: private ``random.Random`` stream.
+            clock: zero-argument callable, seconds since the run started
+                (profiles are functions of run time, not absolute time).
+            host: bind address.
+            capacity: concurrent requests actually executing; the rest
+                queue, which is what the server_queue gauge measures.
+        """
+        super().__init__(host)
+        if capacity < 1:
+            raise MeshError(f"capacity must be >= 1: {capacity}")
+        self.backend_name = backend_name
+        self.profile = profile
+        self.rng = rng
+        self.clock = clock
+        self._slots = asyncio.Semaphore(capacity)
+        # Requests executing or queued — the server-side feedback gauge.
+        self.inflight = 0
+        self.requests_served = 0
+        self.failures_served = 0
+
+    async def _respond(self, path: str) -> tuple[int, bytes]:
+        if path == "/metrics":
+            return 200, self.render_metrics().encode("utf-8")
+        if path != "/work":
+            return 404, b"not found\n"
+        return await self._work()
+
+    async def _work(self) -> tuple[int, bytes]:
+        self.inflight += 1
+        try:
+            async with self._slots:
+                now = self.clock()
+                if self.profile.sample_failure(self.rng, now):
+                    await asyncio.sleep(self.profile.failure_latency_s)
+                    self.failures_served += 1
+                    return 500, b"injected failure\n"
+                service_time = self.profile.sample_service_time(self.rng, now)
+                await asyncio.sleep(service_time)
+                self.requests_served += 1
+                return 200, b"ok\n"
+        finally:
+            self.inflight -= 1
+
+    def render_metrics(self) -> str:
+        """The server-side gauge page (series ``server|<backend>``)."""
+        return render_exposition(
+            targets=(),
+            gauges=[(metric_names.server_series_name(self.backend_name),
+                     metric_names.SERVER_QUEUE, lambda: self.inflight)])
+
+
+class MetricsServer(_HttpServerBase):
+    """A bare /metrics endpoint serving a render callable's output."""
+
+    def __init__(self, render, host: str = "127.0.0.1"):
+        """Args:
+            render: zero-argument callable returning the exposition text.
+            host: bind address.
+        """
+        super().__init__(host)
+        self.render = render
+
+    async def _respond(self, path: str) -> tuple[int, bytes]:
+        if path != "/metrics":
+            return 404, b"not found\n"
+        return 200, self.render().encode("utf-8")

@@ -1,0 +1,79 @@
+"""A wall-clock TrafficSplit: the live proxy's weighted routing table.
+
+Mirrors :class:`repro.mesh.traffic_split.TrafficSplit` (SMI semantics:
+non-negative integer weights, proportional picks, all-zero fallback to
+uniform) but lives outside the simulator: ``set_weights`` — the
+:class:`repro.core.controller.WeightSink` protocol — applies immediately,
+because on the live substrate the control loop's own HTTP scrape cadence
+and reconcile interval already provide the propagation latency the
+simulator has to model explicitly.
+
+Every applied update is appended to :attr:`history`, giving the weight
+trajectory the live demo prints and the smoke tests assert on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError, MeshError
+
+
+class LiveTrafficSplit:
+    """Weighted backend selection driven by a controller, on wall clock."""
+
+    def __init__(self, service: str, backend_names):
+        names = list(backend_names)
+        if not names:
+            raise ConfigError("LiveTrafficSplit needs at least one backend")
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate backends: {names}")
+        self.service = service
+        self._weights: dict[str, int] = {name: 1 for name in names}
+        self._total = len(names)
+        self.update_count = 0
+        # (now, weights) per applied update — the weight trajectory.
+        self.history: list[tuple[float, dict[str, int]]] = []
+
+    @property
+    def weights(self) -> dict[str, int]:
+        """The currently active weights (a copy)."""
+        return dict(self._weights)
+
+    def backend_names(self) -> list[str]:
+        return list(self._weights)
+
+    def set_weights(self, weights: dict[str, int], now: float) -> None:
+        """Apply new weights (the controller's WeightSink protocol).
+
+        Unknown backends are rejected; omitted backends keep their
+        current weight — the same contract as the simulated TrafficSplit.
+        """
+        for name, weight in weights.items():
+            if name not in self._weights:
+                raise MeshError(
+                    f"unknown backend {name!r} in split {self.service!r}")
+            if weight < 0 or int(weight) != weight:
+                raise MeshError(
+                    f"weights must be non-negative integers: {name}={weight}")
+        self._weights.update({name: int(w) for name, w in weights.items()})
+        self._total = sum(self._weights.values())
+        self.update_count += 1
+        self.history.append((now, dict(self._weights)))
+
+    def pick(self, rng, now: float | None = None) -> str:
+        """Pick a backend proportionally to the active weights.
+
+        The ``now`` parameter exists so the split satisfies the same
+        ``pick(rng, now)`` shape as :class:`repro.balancers.base.Balancer`
+        implementations — the live proxy treats both interchangeably.
+        """
+        total = self._total
+        if total <= 0:
+            names = list(self._weights)
+            return names[rng.randrange(len(names))]
+        threshold = rng.random() * total
+        running = 0.0
+        for name, weight in self._weights.items():
+            running += weight
+            if threshold < running:
+                return name
+        return next(reversed(self._weights))

@@ -142,13 +142,13 @@ class ServiceMesh:
         gauge per backend counting requests executing or queued across its
         replicas.
         """
-        from repro.telemetry.scraper import SERVER_QUEUE
+        from repro.telemetry.names import SERVER_QUEUE, server_series_name
 
         for service in self.services():
             deployment = self._deployments[service]
             for backend in deployment.backends.values():
                 scraper.register_gauge(
-                    f"server|{backend.name}", SERVER_QUEUE,
+                    server_series_name(backend.name), SERVER_QUEUE,
                     lambda b=backend: b.inflight)
 
 

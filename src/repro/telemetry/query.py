@@ -11,7 +11,7 @@ which triggers the controller's decay-toward-default path.
 from __future__ import annotations
 
 from repro.core.controller import MetricSample
-from repro.telemetry import scraper as metric_names
+from repro.telemetry import names as metric_names
 from repro.telemetry.histogram import DEFAULT_BUCKET_BOUNDS_S, quantile_from_delta
 from repro.telemetry.timeseries import TimeSeriesStore
 
@@ -44,7 +44,8 @@ class PromMetricsSource:
             return name
         scoped = self._scoped_names.get(name)
         if scoped is None:
-            scoped = self._scoped_names[name] = f"{self.scope}|{name}"
+            scoped = self._scoped_names[name] = metric_names.scoped_series_name(
+                self.scope, name)
         return scoped
 
     def collect(self, backend_names, now: float, window_s: float,
@@ -127,7 +128,8 @@ class PromMetricsSource:
         """
         series_name = self._server_names.get(name)
         if series_name is None:
-            series_name = self._server_names[name] = f"server|{name}"
+            series_name = self._server_names[name] = (
+                metric_names.server_series_name(name))
         sample = self.store.series(
             series_name, metric_names.SERVER_QUEUE
         ).latest_in_window(now - window_s, now)

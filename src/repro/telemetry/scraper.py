@@ -6,15 +6,20 @@ from repro.errors import Interrupted, TelemetryError
 from repro.telemetry.metrics import BackendTelemetry
 from repro.telemetry.timeseries import TimeSeriesStore
 
-# Metric names under which a backend's telemetry is scraped.
-REQUESTS_TOTAL = "requests_total"
-FAILURES_TOTAL = "failures_total"
-SUCCESS_LATENCY_BUCKETS = "success_latency_buckets"
-SUCCESS_LATENCY_SUM = "success_latency_sum"
-SUCCESS_LATENCY_COUNT = "success_latency_count"
-FAILURE_LATENCY_BUCKETS = "failure_latency_buckets"
-INFLIGHT = "inflight"
-SERVER_QUEUE = "server_queue"
+# Metric names under which a backend's telemetry is scraped. The
+# canonical definitions live in repro.telemetry.names (shared with the
+# live testbed's text-exposition endpoint); the aliases below are kept
+# because this module historically defined them.
+from repro.telemetry.names import (  # noqa: F401 - re-exported aliases
+    FAILURE_LATENCY_BUCKETS,
+    FAILURES_TOTAL,
+    INFLIGHT,
+    REQUESTS_TOTAL,
+    SERVER_QUEUE,
+    SUCCESS_LATENCY_BUCKETS,
+    SUCCESS_LATENCY_COUNT,
+    SUCCESS_LATENCY_SUM,
+)
 
 
 class Scraper:

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.leader import ControllerReplica, LeaseLock
 from repro.errors import ConfigError
+from repro.live.clock import FakeClock
 
 
 class CountingController:
@@ -61,6 +62,71 @@ class TestLeaseLock:
         lease.try_acquire("a", now=5.0)   # renewal: no transition
         lease.try_acquire("b", now=20.0)  # takeover
         assert lease.transitions == [(0.0, "a"), (20.0, "b")]
+
+
+class TestWallClockLease:
+    """The live testbed's HA mode: the lease reads an attached clock."""
+
+    def test_explicit_now_required_without_clock(self):
+        lease = LeaseLock(ttl_s=10.0)
+        with pytest.raises(ConfigError):
+            lease.holder()
+
+    def test_clock_supplies_time_when_now_omitted(self):
+        clock = FakeClock()
+        lease = LeaseLock(ttl_s=10.0, clock=clock)
+        assert lease.try_acquire("a")
+        clock.advance(5.0)
+        assert lease.holder() == "a"
+        clock.advance(5.0)  # expired exactly at ttl
+        assert lease.holder() is None
+
+    def test_explicit_now_still_wins_over_the_clock(self):
+        clock = FakeClock(100.0)
+        lease = LeaseLock(ttl_s=10.0, clock=clock)
+        lease.try_acquire("a", now=0.0)
+        assert lease.holder(5.0) == "a"
+
+    def test_takeover_after_leader_goes_silent(self):
+        """Two controller replicas on one wall-clock lease: when the
+        leader stops renewing, the standby takes over within the TTL."""
+        clock = FakeClock()
+        lease = LeaseLock(ttl_s=3.0, clock=clock)
+        controllers = [CountingController(), CountingController()]
+        replicas = [
+            ControllerReplica(f"replica-{i}", controller, lease)
+            for i, controller in enumerate(controllers)
+        ]
+
+        # Both step once per second; replica-0 wins the first election.
+        for _ in range(5):
+            stepped = [replica.step() for replica in replicas]
+            assert stepped == [True, False]
+            clock.advance(1.0)
+        assert controllers[0].reconciles and not controllers[1].reconciles
+
+        # The leader dies (stops renewing); the standby keeps stepping
+        # and acquires the lease once the TTL runs out.
+        replicas[0].crash()
+        takeover_at = None
+        for _ in range(6):
+            if replicas[1].step():
+                takeover_at = clock()
+                break
+            clock.advance(1.0)
+        assert takeover_at is not None
+        assert takeover_at <= 5.0 + lease.ttl_s
+        assert controllers[1].reconciles == [takeover_at]
+        assert [name for _t, name in lease.transitions] == [
+            "replica-0", "replica-1"]
+
+    def test_release_then_immediate_takeover_on_wall_clock(self):
+        clock = FakeClock()
+        lease = LeaseLock(ttl_s=100.0, clock=clock)
+        lease.try_acquire("a")
+        lease.release("a")
+        assert lease.try_acquire("b")
+        assert lease.holder() == "b"
 
 
 class TestControllerReplica:

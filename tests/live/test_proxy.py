@@ -1,0 +1,217 @@
+"""Tests for the live client proxy: mock transports, no sockets, no sleeps."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import MeshError
+from repro.live.clock import FakeClock
+from repro.live.proxy import LiveProxy
+from repro.live.split import LiveTrafficSplit
+from repro.mesh.ejection import OutlierEjectionConfig
+from repro.sim.rng import RngRegistry
+
+BACKENDS = {"api/cluster-1": ("127.0.0.1", 1001),
+            "api/cluster-2": ("127.0.0.1", 1002)}
+
+
+class FakeTransport:
+    """Scripted transport: pops one outcome per call.
+
+    Outcomes: True/False (the attempt's success), or an exception
+    instance to raise — ``asyncio.TimeoutError()`` stands in for an
+    expired ``wait_for`` deadline, so the timeout path needs no timer.
+    """
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = []
+
+    async def __call__(self, host, port):
+        self.calls.append((host, port))
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+
+def make_proxy(outcomes, clock=None, picker=None, **kwargs):
+    transport = FakeTransport(outcomes)
+    proxy = LiveProxy(
+        "cluster-1", "api", BACKENDS,
+        picker or LiveTrafficSplit("api", list(BACKENDS)),
+        RngRegistry(1).stream("test-proxy"), clock or FakeClock(),
+        transport=transport, **kwargs)
+    return proxy, transport
+
+
+def dispatch(proxy):
+    return asyncio.run(proxy.dispatch())
+
+
+class TestDispatch:
+    def test_success_record_and_telemetry(self):
+        clock = FakeClock(10.0)
+        proxy, transport = make_proxy([True], clock=clock)
+        record = dispatch(proxy)
+        assert record.success
+        assert record.attempts == 1
+        assert record.backend in BACKENDS
+        assert record.source_cluster == "cluster-1"
+        assert transport.calls == [BACKENDS[record.backend]]
+        telemetry = proxy.telemetry[record.backend]
+        assert telemetry.requests_total.value == 1.0
+        assert telemetry.failures_total.value == 0.0
+        assert telemetry.inflight.value == 0.0
+        assert telemetry.success_latency.count == 1
+
+    def test_failure_counts_and_failure_histogram(self):
+        proxy, _ = make_proxy([OSError("connection refused")])
+        record = dispatch(proxy)
+        assert not record.success
+        telemetry = proxy.telemetry[record.backend]
+        assert telemetry.failures_total.value == 1.0
+        assert telemetry.failure_latency.count == 1
+        assert telemetry.success_latency.count == 0
+
+    def test_routing_follows_split_weights(self):
+        split = LiveTrafficSplit("api", list(BACKENDS))
+        split.set_weights({"api/cluster-1": 1, "api/cluster-2": 0}, now=0.0)
+        proxy, transport = make_proxy([True] * 50, picker=split)
+        for _ in range(50):
+            assert dispatch(proxy).backend == "api/cluster-1"
+        assert set(transport.calls) == {BACKENDS["api/cluster-1"]}
+
+    def test_telemetry_is_scoped_by_source_cluster(self):
+        proxy, _ = make_proxy([True])
+        names = {t.scrape_name for t in proxy.telemetry_bundles()}
+        assert names == {"cluster-1|api/cluster-1",
+                         "cluster-1|api/cluster-2"}
+
+    def test_unknown_backend_from_picker_rejected(self):
+        class BadPicker:
+            def pick(self, rng, now):
+                return "api/cluster-9"
+
+        proxy, _ = make_proxy([True], picker=BadPicker())
+        with pytest.raises(MeshError):
+            dispatch(proxy)
+
+
+class TestRetries:
+    def test_retry_until_success(self):
+        proxy, transport = make_proxy(
+            [OSError("boom"), True], max_retries=2)
+        record = dispatch(proxy)
+        assert record.success
+        assert record.attempts == 2
+        assert len(transport.calls) == 2
+
+    def test_retries_exhausted(self):
+        proxy, _ = make_proxy([OSError("a"), OSError("b")], max_retries=1)
+        record = dispatch(proxy)
+        assert not record.success
+        assert record.attempts == 2
+
+    def test_no_retries_by_default(self):
+        proxy, transport = make_proxy([OSError("boom"), True])
+        assert not dispatch(proxy).success
+        assert len(transport.calls) == 1
+
+    def test_each_attempt_recorded_separately(self):
+        proxy, _ = make_proxy([OSError("x"), True], max_retries=1)
+        dispatch(proxy)
+        total = sum(t.requests_total.value
+                    for t in proxy.telemetry.values())
+        failures = sum(t.failures_total.value
+                       for t in proxy.telemetry.values())
+        assert total == 2.0
+        assert failures == 1.0
+
+
+class TestTimeouts:
+    def test_expired_deadline_is_a_failed_attempt(self):
+        proxy, _ = make_proxy([asyncio.TimeoutError()],
+                              request_timeout_s=5.0)
+        record = dispatch(proxy)
+        assert not record.success
+        assert proxy.timeouts == 1
+        failures = sum(t.failures_total.value
+                       for t in proxy.telemetry.values())
+        assert failures == 1.0
+
+    def test_timeout_then_retry_succeeds(self):
+        proxy, _ = make_proxy([asyncio.TimeoutError(), True],
+                              max_retries=1, request_timeout_s=5.0)
+        record = dispatch(proxy)
+        assert record.success
+        assert record.attempts == 2
+        assert proxy.timeouts == 1
+
+    def test_validation(self):
+        with pytest.raises(MeshError):
+            make_proxy([], request_timeout_s=0.0)
+        with pytest.raises(MeshError):
+            make_proxy([], max_retries=-1)
+        with pytest.raises(MeshError):
+            make_proxy([], retry_backoff_s=-1.0)
+        with pytest.raises(MeshError):
+            LiveProxy("c", "api", {}, None,
+                      RngRegistry(1).stream("x"), FakeClock())
+
+
+class TargetedTransport:
+    """Succeeds or fails by destination instead of by call order."""
+
+    def __init__(self, failing_port):
+        self.failing_port = failing_port
+        self.calls = []
+
+    async def __call__(self, host, port):
+        self.calls.append((host, port))
+        return port != self.failing_port
+
+
+class TestOutlierEjection:
+    def test_consecutive_failures_divert_traffic(self):
+        # Uniform split; cluster-1 always fails, so its breaker trips
+        # after 2 consecutive failures (cluster-2 successes in between
+        # do not reset it — breakers count per backend).
+        clock = FakeClock()
+        proxy, _ = make_proxy(
+            [], clock=clock,
+            outlier_ejection=OutlierEjectionConfig(
+                consecutive_failures=2, ejection_s=1000.0, max_ejection_s=1000.0))
+        proxy.transport = TargetedTransport(BACKENDS["api/cluster-1"][1])
+
+        for _ in range(200):
+            dispatch(proxy)
+            clock.advance(0.01)
+            if proxy.ejector.is_ejected("api/cluster-1", clock()):
+                break
+        assert proxy.ejector.is_ejected("api/cluster-1", clock())
+        # Once ejected, the redraw loop diverts picks to cluster-2.
+        diverted = 0
+        for _ in range(20):
+            record = dispatch(proxy)
+            clock.advance(0.01)
+            if record.backend == "api/cluster-2":
+                assert record.success
+                diverted += 1
+        assert diverted >= 18
+
+    def test_fail_open_when_everything_ejected(self):
+        split = LiveTrafficSplit("api", list(BACKENDS))
+        clock = FakeClock()
+        proxy, _ = make_proxy(
+            [OSError("down")] * 40, clock=clock, picker=split,
+            outlier_ejection=OutlierEjectionConfig(
+                consecutive_failures=1, ejection_s=1000.0, max_ejection_s=1000.0))
+        for _ in range(10):
+            record = dispatch(proxy)
+            clock.advance(0.01)
+        # Both breakers are open, yet requests still go out (fail-open).
+        assert all(proxy.ejector.is_ejected(name, clock())
+                   for name in BACKENDS)
+        record = dispatch(proxy)
+        assert record.backend in BACKENDS

@@ -1,0 +1,152 @@
+"""Tests for the HTTP scrape loop — fake fetches, fake clock, no sockets."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.live.clock import FakeClock
+from repro.live.exposition import render_exposition
+from repro.live.scrape import HttpScraper
+from repro.telemetry import names
+from repro.telemetry.metrics import BackendTelemetry
+from repro.telemetry.query import PromMetricsSource
+from repro.telemetry.timeseries import TimeSeriesStore
+
+SERIES = "cluster-1|api/cluster-2"
+
+
+class FakePage:
+    """An in-memory /metrics endpoint rendered from a telemetry bundle."""
+
+    def __init__(self, bundles, on_fetch=None):
+        self.bundles = bundles
+        self.on_fetch = on_fetch
+        self.fetches = 0
+
+    async def __call__(self, host, port):
+        self.fetches += 1
+        if self.on_fetch is not None:
+            self.on_fetch()
+        return render_exposition(self.bundles)
+
+
+def scrape(scraper, now=None):
+    return asyncio.run(scraper.scrape_once(now))
+
+
+class TestScrapeOnce:
+    def test_samples_land_in_store(self):
+        telemetry = BackendTelemetry("api/cluster-2", scrape_name=SERIES)
+        telemetry.on_request_sent()
+        telemetry.on_response(0.02, True)
+        store = TimeSeriesStore()
+        scraper = HttpScraper(store, [("h", 1)], FakeClock(4.0),
+                              fetch=FakePage([telemetry]))
+        assert scrape(scraper) == 1
+        assert store.series(SERIES, names.REQUESTS_TOTAL).latest_in_window(
+            0.0, 10.0) == (4.0, 1.0)
+
+    def test_feeds_prom_metrics_source_unchanged(self):
+        """Scraped-over-HTTP pages drive the same windowed queries."""
+        telemetry = BackendTelemetry("api/cluster-2", scrape_name=SERIES)
+        clock = FakeClock(0.0)
+        store = TimeSeriesStore()
+        scraper = HttpScraper(store, [("h", 1)], clock,
+                              fetch=FakePage([telemetry]))
+        scrape(scraper)  # t=0: no traffic yet
+        for _ in range(50):
+            telemetry.on_request_sent()
+            telemetry.on_response(0.02, True)
+        clock.advance(10.0)
+        scrape(scraper)  # t=10: 50 requests later
+
+        source = PromMetricsSource(store, scope="cluster-1")
+        sample = source.collect(["api/cluster-2"], 10.0, 10.0, 0.99)[
+            "api/cluster-2"]
+        assert sample is not None
+        assert sample.rps == pytest.approx(5.0)
+        assert sample.success_rate == 1.0
+        assert sample.latency_s is not None
+
+    def test_one_capture_timestamp_per_round(self):
+        """Fetch latency must not skew per-target sample times: all
+        targets of one round share the round's start timestamp."""
+        telemetry = BackendTelemetry("api/cluster-2", scrape_name=SERIES)
+        other = BackendTelemetry("api/cluster-3",
+                                 scrape_name="cluster-1|api/cluster-3")
+        clock = FakeClock(2.0)
+        store = TimeSeriesStore()
+        # Every fetch advances the clock, simulating slow targets.
+        pages = {1: FakePage([telemetry]), 2: FakePage([other])}
+
+        async def slow_fetch(host, port):
+            clock.advance(0.4)
+            return await pages[port](host, port)
+
+        scraper = HttpScraper(store, [("h", 1), ("h", 2)], clock,
+                              fetch=slow_fetch)
+        scrape(scraper)
+        first = store.series(SERIES, names.REQUESTS_TOTAL).latest_in_window(
+            0.0, 10.0)
+        second = store.series(
+            "cluster-1|api/cluster-3",
+            names.REQUESTS_TOTAL).latest_in_window(0.0, 10.0)
+        assert first[0] == second[0] == 2.0
+
+    def test_failed_target_contributes_nothing(self):
+        telemetry = BackendTelemetry("api/cluster-2", scrape_name=SERIES)
+        good = FakePage([telemetry])
+
+        async def fetch(host, port):
+            if port == 9:
+                raise OSError("connection refused")
+            return await good(host, port)
+
+        store = TimeSeriesStore()
+        scraper = HttpScraper(store, [("h", 9), ("h", 1)], FakeClock(1.0),
+                              fetch=fetch)
+        assert scrape(scraper) == 1
+        assert scraper.failed_scrapes == 1
+        # The healthy target was still scraped in the same round.
+        assert store.series(SERIES, names.REQUESTS_TOTAL).latest_in_window(
+            0.0, 10.0) is not None
+
+    def test_sustained_failure_starves_the_window_to_none(self):
+        """A dead endpoint produces the no-data → None path that triggers
+        the controller's decay-toward-default behaviour."""
+
+        async def fetch(host, port):
+            raise asyncio.TimeoutError()
+
+        store = TimeSeriesStore()
+        scraper = HttpScraper(store, [("h", 1)], FakeClock(), fetch=fetch)
+        for _ in range(3):
+            scrape(scraper)
+        source = PromMetricsSource(store, scope="cluster-1")
+        assert source.collect(["api/cluster-2"], 10.0, 10.0, 0.99)[
+            "api/cluster-2"] is None
+        assert scraper.failed_scrapes == 3
+
+    def test_malformed_page_counts_as_failure(self):
+        async def fetch(host, port):
+            return "requests_total 5\n"  # no labels: parse error
+
+        scraper = HttpScraper(TimeSeriesStore(), [("h", 1)], FakeClock(),
+                              fetch=fetch)
+        assert scrape(scraper) == 0
+        assert scraper.failed_scrapes == 1
+
+    def test_explicit_now_overrides_clock(self):
+        telemetry = BackendTelemetry("api/cluster-2", scrape_name=SERIES)
+        store = TimeSeriesStore()
+        scraper = HttpScraper(store, [("h", 1)], FakeClock(99.0),
+                              fetch=FakePage([telemetry]))
+        scrape(scraper, now=5.0)
+        sample = store.series(SERIES, names.REQUESTS_TOTAL).latest_in_window(
+            0.0, 10.0)
+        assert sample[0] == 5.0
+
+    def test_interval_validation(self):
+        with pytest.raises(TelemetryError):
+            HttpScraper(TimeSeriesStore(), [], FakeClock(), interval_s=0.0)

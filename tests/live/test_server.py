@@ -1,0 +1,154 @@
+"""Tests for the asyncio HTTP servers — real sockets, near-zero latencies."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import MeshError
+from repro.live.clock import FakeClock
+from repro.live.exposition import parse_exposition
+from repro.live.proxy import HttpTransport
+from repro.live.scrape import fetch_metrics
+from repro.live.server import MetricsServer, ReplicaServer, start_http_server
+from repro.telemetry import names
+from repro.workloads.profiles import BackendProfile, constant_series
+
+PORT_BASE = 19480  # away from the harness tests' ranges
+
+
+def fast_profile(median_s=0.0005, failure_prob=0.0):
+    return BackendProfile(
+        median_latency_s=constant_series(median_s),
+        p99_latency_s=constant_series(median_s * 2),
+        failure_prob=constant_series(failure_prob),
+        failure_latency_s=0.0005)
+
+
+def replica_server(port=PORT_BASE, **kwargs):
+    return ReplicaServer("api/cluster-1", fast_profile(**kwargs),
+                         random.Random(1), FakeClock())
+
+
+class TestReplicaServer:
+    def test_work_and_metrics_round_trip(self):
+        async def scenario():
+            server = replica_server()
+            port = await server.start(PORT_BASE)
+            try:
+                assert await HttpTransport()("127.0.0.1", port)
+                page = await fetch_metrics("127.0.0.1", port)
+            finally:
+                await server.stop()
+            assert server.requests_served == 1
+            parsed = parse_exposition(page)
+            series = names.server_series_name("api/cluster-1")
+            assert parsed[series][names.SERVER_QUEUE] == 0.0
+
+        asyncio.run(scenario())
+
+    def test_failure_schedule_produces_500(self):
+        async def scenario():
+            server = ReplicaServer("api/cluster-1",
+                                   fast_profile(failure_prob=1.0),
+                                   random.Random(1), FakeClock())
+            port = await server.start(PORT_BASE)
+            try:
+                assert not await HttpTransport()("127.0.0.1", port)
+            finally:
+                await server.stop()
+            assert server.failures_served == 1
+
+        asyncio.run(scenario())
+
+    def test_unknown_path_is_404_not_a_failure(self):
+        async def scenario():
+            server = replica_server()
+            port = await server.start(PORT_BASE)
+            try:
+                assert not await HttpTransport(path="/nope")(
+                    "127.0.0.1", port)
+            finally:
+                await server.stop()
+            assert server.requests_served == 0
+            assert server.failures_served == 0
+
+        asyncio.run(scenario())
+
+    def test_stop_releases_the_port_and_handlers(self):
+        async def scenario():
+            server = replica_server()
+            port = await server.start(PORT_BASE)
+            await HttpTransport()("127.0.0.1", port)
+            await server.stop()
+            assert not server._handlers
+            with pytest.raises(OSError):
+                await asyncio.open_connection("127.0.0.1", port)
+            # The port is genuinely free again: a new server can bind it.
+            reborn = replica_server()
+            assert await reborn.start(port) == port
+            await reborn.stop()
+
+        asyncio.run(scenario())
+
+    def test_capacity_validation(self):
+        with pytest.raises(MeshError):
+            ReplicaServer("b", fast_profile(), random.Random(1),
+                          FakeClock(), capacity=0)
+
+    def test_double_start_rejected(self):
+        async def scenario():
+            server = replica_server()
+            await server.start(PORT_BASE)
+            try:
+                with pytest.raises(MeshError):
+                    await server.start(PORT_BASE)
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestPortCollision:
+    def test_second_server_walks_to_next_port(self):
+        async def scenario():
+            first = replica_server()
+            second = replica_server()
+            port1 = await first.start(PORT_BASE + 40)
+            try:
+                port2 = await second.start(port1)
+                assert port2 > port1
+                await second.stop()
+            finally:
+                await first.stop()
+
+        asyncio.run(scenario())
+
+    def test_exhausted_range_raises(self):
+        async def scenario():
+            listener, port = await start_http_server(
+                lambda r, w: None, "127.0.0.1", PORT_BASE + 60)
+            try:
+                with pytest.raises(MeshError):
+                    await start_http_server(
+                        lambda r, w: None, "127.0.0.1", port, max_tries=1)
+            finally:
+                listener.close()
+                await listener.wait_closed()
+
+        asyncio.run(scenario())
+
+
+class TestMetricsServer:
+    def test_serves_render_output(self):
+        async def scenario():
+            server = MetricsServer(lambda: 'inflight{series="a"} 2\n')
+            port = await server.start(PORT_BASE + 80)
+            try:
+                page = await fetch_metrics("127.0.0.1", port)
+            finally:
+                await server.stop()
+            assert parse_exposition(page) == {
+                "a": {names.INFLIGHT: 2.0}}
+
+        asyncio.run(scenario())

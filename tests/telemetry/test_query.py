@@ -132,3 +132,80 @@ class TestFailureLatency:
             [(0.01, True)] * 20, scrape_times=(0.0, 10.0))
         source = PromMetricsSource(store)
         assert source.failure_latency_quantile("b", 10.0, 10.0, 0.5) is None
+
+
+class TestScopedNameMemoization:
+    def test_scoped_names_built_once_and_reused(self):
+        source = PromMetricsSource(TimeSeriesStore(), scope="cluster-1")
+        first = source._scoped("b")
+        second = source._scoped("b")
+        assert first == "cluster-1|b"
+        assert first is second  # memoized: the exact same string object
+        assert source._scoped_names == {"b": "cluster-1|b"}
+
+    def test_unscoped_source_skips_the_memo(self):
+        source = PromMetricsSource(TimeSeriesStore())
+        assert source._scoped("b") == "b"
+        assert source._scoped_names == {}
+
+    def test_server_names_memoized(self):
+        source = PromMetricsSource(TimeSeriesStore())
+        source.server_queue("b", 10.0, 10.0)
+        first = source._server_names["b"]
+        source.server_queue("b", 20.0, 10.0)
+        assert source._server_names["b"] is first
+        assert first == "server|b"
+
+    def test_collect_uses_memoized_names(self):
+        store = scraped_traffic(
+            [(0.01, True)] * 10, scrape_times=(0.0, 10.0),
+            scrape_name="cluster-1|b")
+        source = PromMetricsSource(store, scope="cluster-1")
+        source.collect(["b"], 10.0, 10.0, 0.99)
+        cached = source._scoped_names["b"]
+        sample = source.collect(["b"], 10.0, 10.0, 0.99)["b"]
+        assert sample is not None
+        assert source._scoped_names["b"] is cached
+
+
+class TestNoTrafficDecayPath:
+    """No traffic in the window -> None -> controller decay-toward-default."""
+
+    def test_traffic_outside_window_yields_none(self):
+        store = scraped_traffic(
+            [(0.01, True)] * 20, scrape_times=(0.0, 5.0, 10.0))
+        source = PromMetricsSource(store)
+        # Plenty of traffic before t=10, none in the (40, 50] window.
+        assert source.collect(["b"], 50.0, 10.0, 0.99)["b"] is None
+
+    def test_controller_decays_toward_defaults_on_none(self):
+        from repro.core.config import L3Config
+        from repro.core.controller import L3Controller
+
+        store = scraped_traffic(
+            [(0.2, True)] * 200, scrape_times=(0.0, 5.0, 10.0))
+        source = PromMetricsSource(store)
+
+        class Sink:
+            def set_weights(self, weights, now):
+                pass
+
+        config = L3Config(staleness_s=10.0, decay_fraction=0.5)
+        controller = L3Controller(["b"], source, Sink(), config=config)
+        controller.reconcile(10.0)
+        state = controller.backends["b"]
+        observed = state.latency.value
+        # The EWMA was pulled down from the 5 s default toward ~0.2 s.
+        assert observed < config.default_latency_s / 2.0
+
+        # The backend goes quiet: every later window is empty, so collect
+        # returns None and (past staleness) the filters decay back toward
+        # default_latency_s in increments.
+        values = [observed]
+        for now in (25.0, 30.0, 35.0, 40.0):
+            assert source.collect(["b"], now, 10.0, 0.99)["b"] is None
+            controller.reconcile(now)
+            values.append(state.latency.value)
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] > observed
+        assert values[-1] <= config.default_latency_s

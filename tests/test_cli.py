@@ -125,3 +125,27 @@ class TestFigure:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
+
+
+class TestLiveCommand:
+    def test_live_run_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "live.json"
+        code = main(["live", "--duration", "2", "--rps", "30",
+                     "--port-base", "19780", "--report", str(report)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario-1 / l3" in out
+        assert report.exists()
+
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["algorithm"] == "l3"
+        assert payload["clean_shutdown"] is True
+        assert payload["leaked_tasks"] == []
+        assert payload["requests"] > 0
+        assert len(payload["ports"]) == 4
+
+    def test_live_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["live", "--algorithm", "p2c"])

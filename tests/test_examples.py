@@ -53,6 +53,13 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "full latency spectra" in result.stdout
 
+    def test_live_demo(self):
+        # Short real-socket run on a port range reserved for this test.
+        result = run_example("live_demo.py", "4", "19880", timeout=60.0)
+        assert result.returncode == 0, result.stderr
+        assert "weight trajectory" in result.stdout
+        assert "clean shutdown: True" in result.stdout
+
     def test_custom_mesh(self):
         result = run_example("custom_mesh.py")
         assert result.returncode == 0, result.stderr
@@ -66,7 +73,7 @@ class TestExamples:
 @pytest.mark.parametrize("name", [
     "quickstart.py", "hotel_reservation.py", "failure_injection.py",
     "custom_mesh.py", "autoscaling.py", "cost_aware.py",
-    "social_network.py",
+    "social_network.py", "live_demo.py",
 ])
 def test_example_compiles(name):
     """Every example at least byte-compiles (including the slow ones)."""
