@@ -1,0 +1,288 @@
+"""Live chaos baseline: recovery, failover and survival over real sockets.
+
+Runs the live localhost testbed through a scripted disaster and measures
+how the real control plane rides it out:
+
+- at 15 % of the run the **leader replica crashes** out of the HA lease
+  election; the standby must take over within one lease TTL (a takeover
+  is a *cold start* — the new leader's EWMAs begin at their defaults —
+  which is why the crash precedes the outage: the bench measures
+  failover and reroute separately instead of compounding them);
+- at 30 % of the run one cluster **blackholes** (its server accepts
+  connections and never answers — only the client deadline surfaces
+  it); the freshly promoted leader must reroute around it;
+- at 60 % of the run the cluster comes back.
+
+Reported numbers (wall-clock seconds):
+
+- ``recovery_s`` — outage start until L3's applied weights have moved
+  >= 20 points off the blackholed cluster (the paper's §5.2.3 reroute);
+- ``restore_s`` — revert until the cluster's share is back within 10
+  points of uniform;
+- ``failover_s`` — leader crash until the standby's lease takeover
+  (bounded by the lease TTL);
+- success rates overall, during the outage, and after the revert, for
+  L3 and for the round-robin control (which cannot reroute and eats the
+  outage at full price).
+
+Results land in ``BENCH_live_chaos.json`` at the repository root; the
+committed copy is the baseline. Timings are wall-clock and host-noisy,
+so ``--check`` asserts the *behavioural* contract (rerouted, restored,
+failed over, survived), never the raw seconds.
+
+Run it::
+
+    python benchmarks/bench_live_chaos.py             # measure + write
+    python benchmarks/bench_live_chaos.py --check     # assert contract
+    python benchmarks/bench_live_chaos.py --smoke     # short CI variant
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.live.harness import LiveConfig, LiveHarness, weight_points
+from repro.workloads.profiles import BackendProfile, constant_series
+from repro.workloads.scenarios import Scenario
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_live_chaos.json"
+
+CLUSTERS = ("cluster-1", "cluster-2", "cluster-3")
+FAULTED = "cluster-2"
+FAULTED_BACKEND = f"api/{FAULTED}"
+UNIFORM_SHARE = 100.0 / len(CLUSTERS)
+
+# The behavioural contract --check asserts (matching the test suite's
+# acceptance bars, with recovery margins for loaded hosts).
+SHED_POINTS = 20.0      # reroute: >= this many points leave the cluster
+RESTORE_POINTS = 15.0   # restore: share back within this of uniform
+
+
+def uniform_scenario(base_s: float = 0.040) -> Scenario:
+    profiles = {
+        cluster: BackendProfile(
+            median_latency_s=constant_series(base_s),
+            p99_latency_s=constant_series(base_s * 3.0),
+            failure_prob=constant_series(0.0))
+        for cluster in CLUSTERS
+    }
+    return Scenario("chaos-uniform", 600.0, profiles, constant_series(80.0),
+                    "three equal clusters, chaos-driven")
+
+
+def chaos_timeline(duration_s: float) -> tuple[float, float, float]:
+    """``(leader_crash, outage_start, outage_end)`` at 15/30/60 %."""
+    return 0.15 * duration_s, 0.3 * duration_s, 0.6 * duration_s
+
+
+def build_config(algorithm: str, duration_s: float, port_base: int,
+                 lease_ttl_s: float) -> LiveConfig:
+    crash_at, outage_start, outage_end = chaos_timeline(duration_s)
+    spec = (f"cluster-outage@{outage_start:g}+{outage_end - outage_start:g}"
+            f":cluster={FAULTED}:mode=blackhole")
+    ha = 1
+    if algorithm != "round-robin":
+        # The leader dies before the outage: the standby that takes over
+        # is the one that has to see the blackhole and reroute.
+        spec += f" ; controller-crash@{crash_at:g}:replica=0"
+        ha = 2
+    return LiveConfig(
+        algorithm=algorithm, duration_s=duration_s, port_base=port_base,
+        seed=1, rps=80.0, scrape_interval_s=0.5, reconcile_interval_s=0.5,
+        request_timeout_s=0.5, drain_s=3.0, lease_ttl_s=lease_ttl_s,
+        ha_replicas=ha, faults=spec)
+
+
+def success_rates(records, outage_start: float,
+                  outage_end: float) -> dict:
+    def rate(selection):
+        selection = list(selection)
+        if not selection:
+            return None
+        return round(sum(r.success for r in selection) / len(selection), 4)
+
+    return {
+        "overall": rate(records),
+        "during_outage": rate(r for r in records
+                              if outage_start <= r.start_s < outage_end),
+        "after_revert": rate(r for r in records
+                             if r.start_s >= outage_end + 1.0),
+    }
+
+
+def weight_timings(harness, outage_start: float,
+                   outage_end: float) -> dict:
+    """Reroute/restore timings out of the applied-weight trajectory."""
+    shares = [(t, weight_points(w).get(FAULTED_BACKEND, 0.0))
+              for t, w in harness.weight_history]
+    recovery_s = None
+    for t, share in shares:
+        # The shed must land while the outage is still on to count.
+        if outage_start <= t < outage_end \
+                and share <= UNIFORM_SHARE - SHED_POINTS:
+            recovery_s = round(t - outage_start, 3)
+            break
+    restore_s = None
+    for t, share in shares:
+        if t >= outage_end and share >= UNIFORM_SHARE - RESTORE_POINTS:
+            restore_s = round(t - outage_end, 3)
+            break
+    min_share = min(
+        (s for t, s in shares if outage_start <= t < outage_end),
+        default=None)
+    return {
+        "weight_updates": len(shares),
+        "faulted_min_share": (round(min_share, 2)
+                              if min_share is not None else None),
+        "recovery_s": recovery_s,
+        "restore_s": restore_s,
+    }
+
+
+def failover_timing(harness, crash_at: float) -> dict:
+    transitions = harness.lease_transitions
+    takeover = next((t for t, _name in transitions if t > crash_at), None)
+    return {
+        "lease_transitions": [[round(t, 3), name]
+                              for t, name in transitions],
+        "failover_s": (round(takeover - crash_at, 3)
+                       if takeover is not None else None),
+    }
+
+
+def run_chaos(algorithm: str, duration_s: float, port_base: int,
+              lease_ttl_s: float) -> dict:
+    crash_at, outage_start, outage_end = chaos_timeline(duration_s)
+    harness = LiveHarness(
+        uniform_scenario(),
+        build_config(algorithm, duration_s, port_base, lease_ttl_s))
+    result = harness.run()
+
+    row = {
+        "algorithm": algorithm,
+        "duration_s": duration_s,
+        "outage_window_s": [outage_start, outage_end],
+        "requests": result.request_count,
+        "success_rate": success_rates(result.records, outage_start,
+                                      outage_end),
+        "clean_shutdown": harness.clean_shutdown,
+        "chaos_errors": harness.chaos_errors,
+        "fault_log": [[round(t, 3), desc]
+                      for t, desc in harness.fault_log],
+    }
+    if algorithm != "round-robin":
+        row["leader_crash_at_s"] = crash_at
+        row.update(weight_timings(harness, outage_start, outage_end))
+        row.update(failover_timing(harness, crash_at))
+        row["lease_ttl_s"] = lease_ttl_s
+    return row
+
+
+def check_contract(report: dict) -> list[str]:
+    """The behavioural assertions --check enforces (not the timings)."""
+    problems = []
+    l3 = report["l3"]
+    rr = report["round_robin"]
+    for name, row in (("l3", l3), ("round-robin", rr)):
+        if not row["clean_shutdown"]:
+            problems.append(f"{name}: dirty shutdown")
+        if row["chaos_errors"]:
+            problems.append(f"{name}: chaos errors {row['chaos_errors']}")
+    if l3["recovery_s"] is None:
+        problems.append(
+            f"l3 never shed {SHED_POINTS} points off the blackholed "
+            f"cluster (min share {l3['faulted_min_share']})")
+    if l3["restore_s"] is None:
+        problems.append(
+            "l3 never restored the cluster's share after the revert")
+    if l3["failover_s"] is None:
+        problems.append("the standby never took the lease over")
+    elif l3["failover_s"] > l3["lease_ttl_s"] + 2.0:
+        problems.append(
+            f"failover took {l3['failover_s']}s, TTL is "
+            f"{l3['lease_ttl_s']}s")
+    l3_outage = l3["success_rate"]["during_outage"]
+    rr_outage = rr["success_rate"]["during_outage"]
+    if l3_outage is not None and rr_outage is not None \
+            and l3_outage < rr_outage + 0.02:
+        # Round-robin keeps spraying 1/3 of traffic into the blackhole
+        # for the whole outage; a rerouting L3 must clearly beat it.
+        problems.append(
+            f"l3 did not survive the outage clearly better than "
+            f"round-robin ({l3_outage} vs {rr_outage})")
+    if (l3["success_rate"]["after_revert"] or 0.0) < 0.97:
+        problems.append(
+            f"l3 did not return to health after the revert: "
+            f"{l3['success_rate']['after_revert']}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="live chaos baseline (wall-clock, real sockets)")
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="wall-clock seconds per run (default 30)")
+    parser.add_argument("--lease-ttl", type=float, default=2.0,
+                        help="HA lease TTL (default 2)")
+    parser.add_argument("--port-base", type=int, default=19900)
+    parser.add_argument("--output", default=str(BASELINE_PATH),
+                        help="where to write the JSON report "
+                             "(default: BENCH_live_chaos.json at the "
+                             "repo root)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) unless the behavioural "
+                             "contract holds (reroute, restore, "
+                             "failover, clean exit)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short variant for CI (20 s per run — "
+                             "shorter squeezes the failover and the "
+                             "outage together and measures neither)")
+    args = parser.parse_args(argv)
+
+    duration = 20.0 if args.smoke else args.duration
+    report = {
+        "schema": 1,
+        "host": {"cpus": os.cpu_count(),
+                 "python": sys.version.split()[0]},
+        "l3": run_chaos("l3", duration, args.port_base, args.lease_ttl),
+        "round_robin": run_chaos("round-robin", duration,
+                                 args.port_base + 64, args.lease_ttl),
+    }
+
+    l3 = report["l3"]
+    print(f"l3 chaos run ({duration:g}s, outage "
+          f"{l3['outage_window_s'][0]:g}-{l3['outage_window_s'][1]:g}s, "
+          f"{l3['requests']} requests):")
+    print(f"  reroute (>= {SHED_POINTS:g} points shed)   "
+          f"{l3['recovery_s']}s")
+    print(f"  restore (back to uniform-{RESTORE_POINTS:g})  "
+          f"{l3['restore_s']}s")
+    print(f"  leader failover               {l3['failover_s']}s "
+          f"(ttl {l3['lease_ttl_s']:g}s)")
+    print(f"  success during outage         "
+          f"{l3['success_rate']['during_outage']} "
+          f"(round-robin "
+          f"{report['round_robin']['success_rate']['during_outage']})")
+
+    problems = check_contract(report) if args.check else []
+    for problem in problems:
+        print(f"CHECK: {problem}", file=sys.stderr)
+
+    pathlib.Path(args.output).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(f"wrote {args.output}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,9 +98,24 @@ def _build_parser() -> argparse.ArgumentParser:
     live.add_argument("--ha-replicas", type=int, default=1, metavar="N",
                       help="controller replicas competing over a lease "
                            "(default 1 = no HA)")
+    live.add_argument("--lease-ttl", type=float, default=3.0,
+                      metavar="SECONDS",
+                      help="HA lease TTL: a dead leader is replaced "
+                           "within this long (default 3)")
+    live.add_argument("--faults", metavar="SPEC", default=None,
+                      help="chaos schedule, same grammar as `run "
+                           "--faults`; times are seconds into the run "
+                           "(e.g. 'cluster-outage@10+10:cluster="
+                           "cluster-2:mode=blackhole')")
+    live.add_argument("--request-timeout", type=float, default=5.0,
+                      metavar="SECONDS",
+                      help="per-attempt client deadline; blackholed "
+                           "targets need it to fail (default 5; "
+                           "0 disables)")
     live.add_argument("--report", metavar="OUT", default=None,
                       help="write a JSON run report (latency summary, "
-                           "weight trajectory, shutdown state) to OUT")
+                           "weight trajectory, fault log, shutdown "
+                           "state) to OUT")
 
     export = commands.add_parser(
         "export-trace", help="save a built-in scenario as a JSON trace")
@@ -174,6 +189,11 @@ def _write_live_report(result, harness, path: str) -> None:
         "ports": harness.ports,
         "clean_shutdown": harness.clean_shutdown,
         "leaked_tasks": harness.leaked_tasks,
+        "fault_log": [[when, description]
+                      for when, description in harness.fault_log],
+        "chaos_errors": harness.chaos_errors,
+        "lease_transitions": [[when, name]
+                              for when, name in harness.lease_transitions],
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -282,9 +302,15 @@ def main(argv=None) -> int:
         env = None
         tracer = None
         if args.faults is not None:
+            from repro.bench.coordinator import SCENARIO_SERVICE
             from repro.faults import parse_fault_spec
+            from repro.workloads.scenarios import build_scenario
 
-            faults = parse_fault_spec(args.faults)
+            topology = (build_scenario(scenario)
+                        if isinstance(scenario, str) else scenario)
+            faults = parse_fault_spec(
+                args.faults, clusters=set(topology.clusters()),
+                services={SCENARIO_SERVICE})
         if args.request_timeout is not None or args.outlier_ejection:
             from repro.bench.coordinator import ScenarioBenchConfig
             from repro.mesh.ejection import OutlierEjectionConfig
@@ -318,15 +344,25 @@ def main(argv=None) -> int:
             algorithm=args.algorithm, duration_s=args.duration,
             port_base=args.port_base, seed=args.seed,
             rps=args.rps if args.rps > 0 else None,
-            ha_replicas=args.ha_replicas)
+            ha_replicas=args.ha_replicas, lease_ttl_s=args.lease_ttl,
+            faults=args.faults,
+            request_timeout_s=(args.request_timeout
+                               if args.request_timeout > 0 else None))
         harness = LiveHarness(scenario, config)
         result = harness.run()
         _print_result(result)
+        for when, description in harness.fault_log:
+            print(f"  [chaos {when:7.2f}s] {description}")
+        if harness.lease_transitions:
+            print(f"  lease transitions {harness.lease_transitions}")
+        if harness.chaos_errors:
+            print(f"  CHAOS ERRORS: {harness.chaos_errors}")
         if not harness.clean_shutdown:
             print(f"  DIRTY SHUTDOWN: leaked tasks {harness.leaked_tasks}")
         if args.report is not None:
             _write_live_report(result, harness, args.report)
-        return 0 if harness.clean_shutdown else 1
+        return (0 if harness.clean_shutdown
+                and not harness.chaos_errors else 1)
 
     if args.command == "export-trace":
         from repro.workloads.scenarios import build_scenario

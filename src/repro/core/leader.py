@@ -116,12 +116,19 @@ class ControllerReplica:
 
         With ``now`` omitted the shared lease's clock supplies the time —
         the wall-clock mode the live testbed's HA control loop uses.
+
+        A *paused* controller (fault injection: the reconcile loop is
+        stalled but the process is alive) still renews its lease — the
+        deployment holds leadership with frozen weights — it just skips
+        the reconcile, exactly like the non-HA run loop does.
         """
         if self._crashed:
             return False
         if now is None:
             now = self.lease._now(None)
         if not self.lease.try_acquire(self.name, now):
+            return False
+        if getattr(self.controller, "paused", False):
             return False
         self.controller.reconcile(now)
         self.reconciles_as_leader += 1

@@ -13,6 +13,15 @@ class ConfigError(ReproError):
     """A configuration value is invalid or inconsistent."""
 
 
+class FaultSpecError(ConfigError):
+    """A fault specification is malformed or internally inconsistent.
+
+    Raised at parse/validation time — before anything is wired up — so a
+    bad ``--faults`` string fails the run immediately instead of
+    erroring (or silently no-op'ing) minutes into a live experiment.
+    """
+
+
 class MeshError(ReproError):
     """The service-mesh model was used incorrectly (unknown service, etc.)."""
 

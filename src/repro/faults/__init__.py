@@ -26,9 +26,11 @@ Blackhole faults need a client-side deadline to be survivable — see
 and :class:`~repro.mesh.proxy.ClientProxy`.
 """
 
+from repro.errors import FaultSpecError
 from repro.faults.base import Fault, FaultInjector
 from repro.faults.faults import (
     ClusterOutage,
+    ControllerCrash,
     ControllerPause,
     LinkDegradation,
     LinkPartition,
@@ -36,11 +38,17 @@ from repro.faults.faults import (
     ReplicaRestart,
     ScrapeOutage,
 )
-from repro.faults.spec import FAULT_KINDS, parse_fault_entry, parse_fault_spec
+from repro.faults.spec import (
+    FAULT_KINDS,
+    parse_fault_entry,
+    parse_fault_spec,
+    validate_fault_spec,
+)
 
 __all__ = [
     "Fault",
     "FaultInjector",
+    "FaultSpecError",
     "ReplicaCrash",
     "ReplicaRestart",
     "ClusterOutage",
@@ -48,7 +56,9 @@ __all__ = [
     "LinkDegradation",
     "ScrapeOutage",
     "ControllerPause",
+    "ControllerCrash",
     "FAULT_KINDS",
     "parse_fault_entry",
     "parse_fault_spec",
+    "validate_fault_spec",
 ]

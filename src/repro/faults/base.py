@@ -46,6 +46,28 @@ class Fault(abc.ABC):
         if duration is not None and duration <= 0:
             raise ConfigError(f"fault duration must be positive: {duration}")
 
+    def window(self) -> tuple[float, float]:
+        """The half-open ``[start, end)`` activity window of this fault.
+
+        A fault without ``duration_s`` is never reverted, so its window
+        extends to infinity. Instantaneous heal events (e.g. an explicit
+        :class:`~repro.faults.faults.ReplicaRestart`) override this to an
+        empty window — they disrupt nothing.
+        """
+        duration = getattr(self, "duration_s", None)
+        end = self.at_s + duration if duration is not None else float("inf")
+        return self.at_s, end
+
+    def targets(self) -> tuple:
+        """Hashable identities of what this fault disrupts.
+
+        Two faults of the same kind sharing a target with overlapping
+        windows are an inconsistent schedule (the second apply/revert
+        would clobber the first's state), rejected by
+        :func:`repro.faults.spec.validate_fault_spec`.
+        """
+        return (type(self).__name__,)
+
 
 class FaultInjector:
     """Schedules faults against one mesh (plus its control-plane parts).
@@ -56,17 +78,23 @@ class FaultInjector:
         controllers: reconcile-loop controllers (anything exposing
             ``pause()``/``resume()``), if controller faults are to be
             usable.
+        replicas: HA controller replicas (anything exposing
+            ``crash()``/``recover()``, normally
+            :class:`~repro.core.leader.ControllerReplica`), if
+            controller-crash faults are to be usable.
 
     Every applied/reverted fault is appended to :attr:`log` as
     ``(sim_time, description)`` — examples and benchmarks print it to
     correlate fault timing with observed behaviour.
     """
 
-    def __init__(self, mesh, scraper=None, controllers: typing.Sequence = ()):
+    def __init__(self, mesh, scraper=None, controllers: typing.Sequence = (),
+                 replicas: typing.Sequence = ()):
         self.mesh = mesh
         self.sim = mesh.sim
         self.scraper = scraper
         self.controllers = [c for c in controllers if c is not None]
+        self.replicas = list(replicas)
         self.log: list[tuple[float, str]] = []
 
     def schedule(self, fault: Fault, offset_s: float = 0.0) -> None:
@@ -134,3 +162,14 @@ class FaultInjector:
                 "with controllers=[...] (only controller-based balancers "
                 "such as l3/c3 have one)")
         return self.controllers
+
+    def require_replica(self, index: int):
+        if not self.replicas:
+            raise ConfigError(
+                "this fault needs controller replicas; construct the "
+                "injector with replicas=[...] (HA mode, ha_replicas > 1)")
+        if not 0 <= index < len(self.replicas):
+            raise ConfigError(
+                f"no controller replica {index}; only "
+                f"{len(self.replicas)} exist")
+        return self.replicas[index]

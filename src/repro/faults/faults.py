@@ -20,6 +20,14 @@ def _check_mode(mode: str) -> None:
         raise ConfigError(f"down mode must be one of {DOWN_MODES}: {mode!r}")
 
 
+# How a scrape outage manifests on the live substrate: "error" answers
+# 500 to every /metrics GET, "stall" accepts and never answers (the
+# scraper's fetch timeout turns the silence into a failed scrape). The
+# simulator has no wire to fail, so there an outage is simply the
+# absence of samples regardless of mode.
+SCRAPE_OUTAGE_MODES = ("error", "stall")
+
+
 @dataclass(frozen=True)
 class ReplicaCrash(Fault):
     """One replica goes down; its capacity is gone until a restart.
@@ -57,6 +65,10 @@ class ReplicaCrash(Fault):
     def revert(self, injector: FaultInjector) -> None:
         self._replica(injector).restart()
 
+    def targets(self) -> tuple:
+        return (("replica", self.service, self.cluster,
+                 self.replica_index),)
+
 
 @dataclass(frozen=True)
 class ReplicaRestart(Fault):
@@ -81,6 +93,14 @@ class ReplicaRestart(Fault):
                 f"backend {backend.name} has {len(backend.replicas)} "
                 f"replicas; index {self.replica_index} does not exist")
         backend.replicas[self.replica_index].restart()
+
+    def window(self) -> tuple[float, float]:
+        # An instantaneous heal event disrupts nothing: empty window.
+        return self.at_s, self.at_s
+
+    def targets(self) -> tuple:
+        return (("replica", self.service, self.cluster,
+                 self.replica_index),)
 
 
 @dataclass(frozen=True)
@@ -116,6 +136,9 @@ class ClusterOutage(Fault):
         for backend in injector.backends_in(self.cluster, self.service):
             backend.restart()
 
+    def targets(self) -> tuple:
+        return (("cluster", self.cluster, self.service),)
+
 
 @dataclass(frozen=True)
 class LinkPartition(Fault):
@@ -140,6 +163,12 @@ class LinkPartition(Fault):
     def revert(self, injector: FaultInjector) -> None:
         injector.mesh.network.heal_partition(
             self.src, self.dst, symmetric=self.symmetric)
+
+    def targets(self) -> tuple:
+        links = (("link-partition", self.src, self.dst),)
+        if self.symmetric:
+            links += (("link-partition", self.dst, self.src),)
+        return links
 
 
 @dataclass(frozen=True)
@@ -175,6 +204,12 @@ class LinkDegradation(Fault):
         injector.mesh.network.heal_degradation(
             self.src, self.dst, symmetric=self.symmetric)
 
+    def targets(self) -> tuple:
+        links = (("link-degradation", self.src, self.dst),)
+        if self.symmetric:
+            links += (("link-degradation", self.dst, self.src),)
+        return links
+
 
 @dataclass(frozen=True)
 class ScrapeOutage(Fault):
@@ -184,13 +219,28 @@ class ScrapeOutage(Fault):
     windowed queries come back empty and its EWMAs decay toward their
     defaults (§4's no-traffic behaviour, exercised for *every* backend at
     once).
+
+    Args:
+        mode: how the outage manifests on the live substrate — ``"error"``
+            (every /metrics GET answers 500) or ``"stall"`` (the page
+            never answers; the scraper's fetch timeout fires). The
+            simulator ignores the mode: an outage is the absence of
+            samples either way.
     """
 
     at_s: float
     duration_s: float | None = None
+    mode: str = "error"
+
+    def validate(self) -> None:
+        super().validate()
+        if self.mode not in SCRAPE_OUTAGE_MODES:
+            raise ConfigError(
+                f"scrape outage mode must be one of {SCRAPE_OUTAGE_MODES}: "
+                f"{self.mode!r}")
 
     def apply(self, injector: FaultInjector) -> None:
-        injector.require_scraper().pause()
+        injector.require_scraper().pause(self.mode)
 
     def revert(self, injector: FaultInjector) -> None:
         injector.require_scraper().resume()
@@ -214,3 +264,36 @@ class ControllerPause(Fault):
     def revert(self, injector: FaultInjector) -> None:
         for controller in injector.require_controllers():
             controller.resume()
+
+
+@dataclass(frozen=True)
+class ControllerCrash(Fault):
+    """One controller replica dies (stops renewing its lease).
+
+    Only meaningful for HA deployments — N replicas competing over a
+    :class:`~repro.core.leader.LeaseLock` — so the injector must be
+    constructed with ``replicas=[...]``. Crashing the leader opens a
+    leaderless window bounded by the lease TTL, during which the last
+    pushed weights keep serving; a standby takes over when the lease
+    expires. With ``duration_s`` set the replica recovers and rejoins
+    the election (it does not preempt the new leader).
+    """
+
+    at_s: float
+    duration_s: float | None = None
+    replica_index: int = 0
+
+    def validate(self) -> None:
+        super().validate()
+        if self.replica_index < 0:
+            raise ConfigError(
+                f"replica index must be >= 0: {self.replica_index}")
+
+    def apply(self, injector: FaultInjector) -> None:
+        injector.require_replica(self.replica_index).crash()
+
+    def revert(self, injector: FaultInjector) -> None:
+        injector.require_replica(self.replica_index).recover()
+
+    def targets(self) -> tuple:
+        return (("controller-replica", self.replica_index),)

@@ -11,8 +11,15 @@ generator. The simulation validates the control algorithm against a
 model; the live harness validates it against the realities a model hides
 (scheduling jitter, socket teardown, wall-clock scrape skew).
 DESIGN.md §5e states the parity contract between the two substrates.
+
+:mod:`repro.live.chaos` adds wall-clock fault injection on top: the same
+``--faults`` vocabulary the simulator uses, executed against the running
+testbed (listeners close and re-bind, links partition, /metrics pages
+break, controller replicas crash out of the lease election). DESIGN.md
+§5f states the live failure model and the failover contract.
 """
 
+from repro.live.chaos import LiveFaultInjector, LiveLinkShaper
 from repro.live.clock import FakeClock, WallClock
 from repro.live.control import ControllerStepper, LiveControlLoop, ha_replicas
 from repro.live.exposition import parse_exposition, render_exposition
@@ -39,7 +46,9 @@ __all__ = [
     "HttpTransport",
     "LiveConfig",
     "LiveControlLoop",
+    "LiveFaultInjector",
     "LiveHarness",
+    "LiveLinkShaper",
     "LiveLoadGenerator",
     "LiveProxy",
     "LiveTrafficSplit",

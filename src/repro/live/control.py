@@ -19,12 +19,19 @@ from repro.errors import ConfigError
 
 
 class ControllerStepper:
-    """Adapts a bare controller to the ``step(now)`` interface."""
+    """Adapts a bare controller to the ``step(now)`` interface.
+
+    Honours the controller's ``paused`` flag (fault injection:
+    controller-pause stalls the loop without killing it), mirroring what
+    the simulator's run loop does.
+    """
 
     def __init__(self, controller):
         self.controller = controller
 
     def step(self, now: float) -> bool:
+        if getattr(self.controller, "paused", False):
+            return False
         self.controller.reconcile(now)
         return True
 

@@ -28,7 +28,10 @@ from repro.balancers.round_robin import RoundRobinBalancer
 from repro.bench.coordinator import SCENARIO_SERVICE, BenchmarkResult
 from repro.core.config import L3Config
 from repro.core.controller import L3Controller
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FaultSpecError
+from repro.faults.base import Fault
+from repro.faults.spec import parse_fault_spec, validate_fault_spec
+from repro.live.chaos import LiveFaultInjector, LiveLinkShaper
 from repro.live.clock import WallClock
 from repro.live.control import ControllerStepper, LiveControlLoop, ha_replicas
 from repro.live.exposition import render_exposition
@@ -55,20 +58,31 @@ _PAPER_INTERVAL_S = 5.0
 
 
 def live_l3_config(reconcile_interval_s: float,
-                   base: L3Config | None = None) -> L3Config:
+                   base: L3Config | None = None,
+                   scrape_interval_s: float | None = None) -> L3Config:
     """An L3Config with the paper's loop proportionally re-timed.
 
     Every time constant of the control loop (windows, EWMA half-lives,
     staleness horizon) scales by ``reconcile_interval_s / 5 s``, so a
     1-second live cadence behaves like the paper's 5-second loop does
     over a 5x longer run. Non-temporal tunables are taken from ``base``.
+
+    When ``scrape_interval_s`` is given, the metrics window is floored
+    at **three** scrape intervals: ``rate()`` needs two samples inside
+    the trailing window, and on the wall clock a round's samples land
+    up to one interval after the tick that scheduled them (sleep drift,
+    concurrent fetches), so the simulator's exactly-two-intervals
+    minimum flaps between one and two visible samples live.
     """
     factor = reconcile_interval_s / _PAPER_INTERVAL_S
     base = base or L3Config()
+    window_s = base.metrics_window_s * factor
+    if scrape_interval_s is not None:
+        window_s = max(window_s, 3.0 * scrape_interval_s)
     return replace(
         base,
         reconcile_interval_s=reconcile_interval_s,
-        metrics_window_s=base.metrics_window_s * factor,
+        metrics_window_s=window_s,
         latency_half_life_s=base.latency_half_life_s * factor,
         inflight_half_life_s=base.inflight_half_life_s * factor,
         success_half_life_s=base.success_half_life_s * factor,
@@ -77,13 +91,17 @@ def live_l3_config(reconcile_interval_s: float,
     )
 
 
-def live_c3_config(reconcile_interval_s: float) -> C3Config:
+def live_c3_config(reconcile_interval_s: float,
+                   scrape_interval_s: float | None = None) -> C3Config:
     """A C3Config re-timed the same way as :func:`live_l3_config`."""
     factor = reconcile_interval_s / _PAPER_INTERVAL_S
     base = C3Config()
+    window_s = base.metrics_window_s * factor
+    if scrape_interval_s is not None:
+        window_s = max(window_s, 3.0 * scrape_interval_s)
     return C3Config(
         reconcile_interval_s=reconcile_interval_s,
-        metrics_window_s=base.metrics_window_s * factor,
+        metrics_window_s=window_s,
         latency_half_life_s=base.latency_half_life_s * factor,
         queue_half_life_s=base.queue_half_life_s * factor,
     )
@@ -126,6 +144,13 @@ class LiveConfig:
     lease_ttl_s: float = 3.0
     drain_s: float = 5.0
     arrival: str = "uniform"
+    # Chaos: a --faults spec string or a parsed Fault list; times are
+    # seconds into the run. None runs fault-free (no shaper, no task).
+    faults: object = None
+    # Backoff shape of the proxy's retries (defaults: constant, as ever).
+    retry_backoff_multiplier: float = 1.0
+    retry_backoff_max_s: float | None = None
+    retry_jitter: bool = False
 
     def __post_init__(self):
         if self.algorithm not in LIVE_ALGORITHMS:
@@ -157,10 +182,13 @@ class _LiveParts:
     proxy: LiveProxy | None = None
     split: LiveTrafficSplit | None = None
     controllers: list = field(default_factory=list)
+    replicas: list = field(default_factory=list)
     lease: object | None = None
     scraper: HttpScraper | None = None
     control: LiveControlLoop | None = None
     loadgen: LiveLoadGenerator | None = None
+    shaper: LiveLinkShaper | None = None
+    injector: LiveFaultInjector | None = None
 
 
 class LiveHarness:
@@ -180,6 +208,54 @@ class LiveHarness:
         self.ports: list[int] = []
 
     # ------------------------------------------------------------- boot #
+
+    def _parse_faults(self) -> list[Fault]:
+        """The run's fault schedule, validated against this topology.
+
+        Spec strings and pre-built fault lists both go through
+        :func:`~repro.faults.spec.validate_fault_spec` with the
+        scenario's clusters and the harness's service, plus the live
+        substrate's own constraints — controller-crash needs HA mode
+        and an existing replica index, and each live backend has
+        exactly one (process-level) replica — so a schedule that cannot
+        run fails before a single port is bound.
+        """
+        from repro.faults.faults import ControllerCrash, ControllerPause
+
+        config = self.config
+        if config.faults is None:
+            return []
+        clusters = set(self.scenario.clusters())
+        services = {SCENARIO_SERVICE}
+        if isinstance(config.faults, str):
+            faults = parse_fault_spec(config.faults, clusters=clusters,
+                                      services=services)
+        else:
+            faults = list(config.faults)
+            validate_fault_spec(faults, clusters=clusters,
+                                services=services)
+        for fault in faults:
+            if isinstance(fault, (ControllerCrash, ControllerPause)) \
+                    and config.algorithm == "round-robin":
+                raise FaultSpecError(
+                    f"fault spec: {fault} targets the controller, but "
+                    f"round-robin runs without one")
+            if isinstance(fault, ControllerCrash):
+                if config.ha_replicas < 2:
+                    raise FaultSpecError(
+                        f"fault spec: {fault} needs HA mode "
+                        f"(ha_replicas > 1); got {config.ha_replicas}")
+                if fault.replica_index >= config.ha_replicas:
+                    raise FaultSpecError(
+                        f"fault spec: {fault} names replica "
+                        f"{fault.replica_index}, but only "
+                        f"{config.ha_replicas} run")
+            index = getattr(fault, "replica_index", None)
+            if not isinstance(fault, ControllerCrash) and index:
+                raise FaultSpecError(
+                    f"fault spec: {fault} names replica {index}, but "
+                    f"each live backend is a single server (index 0)")
+        return faults
 
     def _backend_addresses(self) -> list[str]:
         return [make_backend_name(SCENARIO_SERVICE, cluster)
@@ -217,9 +293,11 @@ class LiveHarness:
             if config.algorithm == "c3":
                 return C3Controller(
                     list(backend_names), source, split,
-                    config=live_c3_config(config.reconcile_interval_s))
+                    config=live_c3_config(config.reconcile_interval_s,
+                                          config.scrape_interval_s))
             l3 = live_l3_config(config.reconcile_interval_s,
-                                base=config.l3_config)
+                                base=config.l3_config,
+                                scrape_interval_s=config.scrape_interval_s)
             l3 = replace(l3, use_peak_ewma=(config.algorithm == "l3-peak"))
             return L3Controller(list(backend_names), source, split,
                                 config=l3, start_time=0.0)
@@ -239,6 +317,7 @@ class LiveHarness:
         self.clock = self.clock or WallClock()
         rng = RngRegistry(config.seed)
         store = TimeSeriesStore()
+        faults = self._parse_faults()
 
         addresses = await self._boot_servers(rng)
         backend_names = list(addresses)
@@ -246,13 +325,19 @@ class LiveHarness:
             backend_names, store)
         self.parts.controllers = controllers
 
+        shaper = LiveLinkShaper() if faults else None
+        self.parts.shaper = shaper
         proxy = LiveProxy(
             config.client_cluster, SCENARIO_SERVICE, addresses,
             picker, rng.stream("live-proxy"), self.clock,
             max_retries=config.max_retries,
             retry_backoff_s=config.retry_backoff_s,
+            retry_backoff_multiplier=config.retry_backoff_multiplier,
+            retry_backoff_max_s=config.retry_backoff_max_s,
+            retry_jitter=config.retry_jitter,
             request_timeout_s=config.request_timeout_s,
-            outlier_ejection=config.outlier_ejection)
+            outlier_ejection=config.outlier_ejection,
+            link=shaper)
         self.parts.proxy = proxy
 
         metrics_server = MetricsServer(
@@ -274,6 +359,7 @@ class LiveHarness:
                 lease, replicas = ha_replicas(
                     controllers, config.lease_ttl_s, self.clock)
                 self.parts.lease = lease
+                self.parts.replicas = replicas
                 steppers = replicas
             else:
                 steppers = [ControllerStepper(controllers[0])]
@@ -287,18 +373,49 @@ class LiveHarness:
             self.clock, arrival=config.arrival)
         self.parts.loadgen = loadgen
 
+        chaos_task = None
+        if faults:
+            injector = LiveFaultInjector(
+                SCENARIO_SERVICE, self.parts.servers, shaper, self.clock,
+                metrics_server=metrics_server, controllers=controllers,
+                replicas=self.parts.replicas)
+            injector.schedule_all(faults)
+            self.parts.injector = injector
+            chaos_task = asyncio.ensure_future(injector.run())
+            chaos_task.set_name("chaos-injector")
+
         scrape_task = asyncio.ensure_future(scraper.run())
         control_task = (asyncio.ensure_future(control.run())
                         if control is not None else None)
         try:
             await loadgen.run(config.duration_s)
         finally:
-            await self._shutdown(scrape_task, control_task)
+            await self._shutdown(scrape_task, control_task, chaos_task)
         return self._result()
 
-    async def _shutdown(self, scrape_task, control_task) -> None:
-        """Drain in-flight requests, stop loops, release ports."""
+    async def _shutdown(self, scrape_task, control_task,
+                        chaos_task=None) -> None:
+        """Drain in-flight requests, stop loops, release ports.
+
+        The chaos injector dies first — no new faults land mid-teardown
+        — and everything it stalled (blackholed handlers, broken
+        /metrics pages, partitioned links) is released, so requests
+        parked on injected silence resolve during the drain instead of
+        showing up in the leak report. A run that ends with a replica
+        still crashed must exit as clean as a fault-free one.
+        """
         config = self.config
+        if chaos_task is not None:
+            chaos_task.cancel()
+            await asyncio.gather(chaos_task, return_exceptions=True)
+        if self.parts.injector is not None:
+            self.parts.injector.close()
+        if self.parts.shaper is not None:
+            self.parts.shaper.release()
+        for server in self.parts.servers.values():
+            server.release_stalls()
+        if self.parts.metrics_server is not None:
+            self.parts.metrics_server.release_stalls()
         loadgen = self.parts.loadgen
         if loadgen is not None and loadgen.inflight:
             _done, pending = await asyncio.wait(
@@ -337,6 +454,24 @@ class LiveHarness:
         split = self.parts.split
         return list(split.history) if split is not None else []
 
+    @property
+    def fault_log(self) -> list[tuple[float, str]]:
+        """Applied/reverted faults as ``(run_time_s, description)``."""
+        injector = self.parts.injector
+        return list(injector.log) if injector is not None else []
+
+    @property
+    def chaos_errors(self) -> list[str]:
+        """Faults that could not run (misconfigured experiments)."""
+        injector = self.parts.injector
+        return list(injector.errors) if injector is not None else []
+
+    @property
+    def lease_transitions(self) -> list[tuple[float, str]]:
+        """Leadership changes as ``(run_time_s, replica_name)`` (HA)."""
+        lease = self.parts.lease
+        return list(lease.transitions) if lease is not None else []
+
     def final_weights(self) -> dict[str, int]:
         """The last weights the leader pushed (empty for round-robin)."""
         for controller in self.parts.controllers:
@@ -357,7 +492,8 @@ class LiveHarness:
 
 def run_live(scenario: str | Scenario, algorithm: str = "l3",
              duration_s: float = 30.0, port_base: int = 18080,
-             seed: int = 1, config: LiveConfig | None = None,
+             seed: int = 1, faults: object = None,
+             config: LiveConfig | None = None,
              ) -> tuple[BenchmarkResult, LiveHarness]:
     """Convenience wrapper: build a harness, run it, return both.
 
@@ -365,6 +501,6 @@ def run_live(scenario: str | Scenario, algorithm: str = "l3",
     """
     if config is None:
         config = LiveConfig(algorithm=algorithm, duration_s=duration_s,
-                            port_base=port_base, seed=seed)
+                            port_base=port_base, seed=seed, faults=faults)
     harness = LiveHarness(scenario, config)
     return harness.run(), harness

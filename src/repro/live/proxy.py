@@ -23,6 +23,7 @@ import itertools
 
 from repro.errors import MeshError
 from repro.live import httpwire
+from repro.mesh.cluster import split_backend_name
 from repro.mesh.ejection import OutlierEjectionConfig, OutlierEjector
 from repro.mesh.request import RequestRecord
 from repro.telemetry.metrics import BackendTelemetry
@@ -57,9 +58,12 @@ class LiveProxy:
     def __init__(self, source_cluster: str, service: str,
                  backends: dict[str, tuple[str, int]], picker, rng, clock,
                  max_retries: int = 0, retry_backoff_s: float = 0.0,
+                 retry_backoff_multiplier: float = 1.0,
+                 retry_backoff_max_s: float | None = None,
+                 retry_jitter: bool = False,
                  request_timeout_s: float | None = None,
                  outlier_ejection: OutlierEjectionConfig | None = None,
-                 transport=None):
+                 transport=None, link=None):
         """Args:
             source_cluster: cluster this proxy lives in (telemetry scope).
             service: destination service name.
@@ -68,15 +72,30 @@ class LiveProxy:
                 :class:`~repro.live.split.LiveTrafficSplit` kept fresh by
                 a controller, or a per-request balancer such as
                 :class:`~repro.balancers.round_robin.RoundRobinBalancer`.
-            rng: private random stream (weighted picks).
+            rng: private random stream (weighted picks and backoff
+                jitter; the jitter draw happens only when enabled, so
+                the default configuration leaves the stream untouched).
             clock: zero-argument callable, seconds since the run started.
             max_retries / retry_backoff_s / request_timeout_s /
             outlier_ejection: the resilience knobs of the simulated
                 proxy, with identical semantics.
+            retry_backoff_multiplier: growth factor per retry; attempt
+                ``n`` waits ``retry_backoff_s * multiplier**(n-1)``.
+                The default 1.0 keeps the historical constant backoff.
+            retry_backoff_max_s: cap on any single backoff sleep
+                (``None`` = uncapped).
+            retry_jitter: full jitter — each sleep is drawn uniformly
+                from ``[0, computed delay]``, decorrelating retry storms
+                when a backend dies under concurrent load.
             transport: async ``f(host, port) -> success`` (defaults to
                 :class:`HttpTransport`); raising ``OSError`` or
                 :class:`~repro.errors.MeshError` counts as a failed
                 attempt, as does the per-attempt deadline expiring.
+            link: optional :class:`~repro.live.chaos.LiveLinkShaper`
+                traversed before each attempt's transport — the chaos
+                harness's partition/degradation insertion point. The
+                traversal shares the attempt's deadline, so a
+                partitioned link turns into a client timeout.
         """
         if not backends:
             raise MeshError("LiveProxy needs at least one backend")
@@ -84,6 +103,13 @@ class LiveProxy:
             raise MeshError(f"max retries must be >= 0: {max_retries}")
         if retry_backoff_s < 0:
             raise MeshError(f"retry backoff must be >= 0: {retry_backoff_s}")
+        if retry_backoff_multiplier < 1.0:
+            raise MeshError(
+                f"backoff multiplier must be >= 1: "
+                f"{retry_backoff_multiplier}")
+        if retry_backoff_max_s is not None and retry_backoff_max_s <= 0:
+            raise MeshError(
+                f"backoff cap must be positive: {retry_backoff_max_s}")
         if request_timeout_s is not None and request_timeout_s <= 0:
             raise MeshError(
                 f"request timeout must be positive: {request_timeout_s}")
@@ -95,8 +121,12 @@ class LiveProxy:
         self.clock = clock
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_multiplier = retry_backoff_multiplier
+        self.retry_backoff_max_s = retry_backoff_max_s
+        self.retry_jitter = retry_jitter
         self.request_timeout_s = request_timeout_s
         self.transport = transport or HttpTransport()
+        self.link = link
         self.timeouts = 0
         self._request_ids = itertools.count()
         self.telemetry: dict[str, BackendTelemetry] = {
@@ -127,8 +157,9 @@ class LiveProxy:
             success, backend_name = await self._attempt()
             if success or attempts > self.max_retries:
                 break
-            if self.retry_backoff_s > 0:
-                await asyncio.sleep(self.retry_backoff_s)
+            delay = self.backoff_delay(attempts)
+            if delay > 0:
+                await asyncio.sleep(delay)
 
         return RequestRecord(
             request_id=request_id,
@@ -141,6 +172,35 @@ class LiveProxy:
             success=success,
             attempts=attempts,
         )
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Sleep before the retry after failed attempt number ``attempt``.
+
+        Capped exponential backoff with optional full jitter: the base
+        delay grows by ``retry_backoff_multiplier`` per attempt, is
+        clamped to ``retry_backoff_max_s``, and — with jitter on — the
+        actual sleep is uniform over ``[0, delay]`` so simultaneous
+        retriers spread out instead of hammering in lockstep. The
+        defaults (multiplier 1, no cap, no jitter) reproduce the
+        original constant ``retry_backoff_s`` exactly, without touching
+        the rng stream.
+        """
+        delay = self.retry_backoff_s
+        if delay <= 0:
+            return 0.0
+        delay *= self.retry_backoff_multiplier ** (attempt - 1)
+        if self.retry_backoff_max_s is not None:
+            delay = min(delay, self.retry_backoff_max_s)
+        if self.retry_jitter:
+            delay = self.rng.uniform(0.0, delay)
+        return delay
+
+    async def _send(self, host: str, port: int, backend_name: str) -> bool:
+        """One transport call, shaped by the chaos link when present."""
+        if self.link is not None:
+            _service, dst = split_backend_name(backend_name)
+            await self.link.traverse(self.source_cluster, dst)
+        return await self.transport(host, port)
 
     async def _attempt(self) -> tuple[bool, str]:
         """One attempt: pick, send, record — the per-try telemetry unit."""
@@ -160,10 +220,11 @@ class LiveProxy:
         success = False
         try:
             if self.request_timeout_s is None:
-                success = await self.transport(host, port)
+                success = await self._send(host, port, backend_name)
             else:
                 success = await asyncio.wait_for(
-                    self.transport(host, port), self.request_timeout_s)
+                    self._send(host, port, backend_name),
+                    self.request_timeout_s)
         except (asyncio.TimeoutError, TimeoutError):
             self.timeouts += 1
         except (OSError, MeshError, asyncio.IncompleteReadError):

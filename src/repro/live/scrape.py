@@ -73,35 +73,68 @@ class HttpScraper:
         self._fetch = fetch or fetch_metrics
         self.scrape_count = 0
         self.failed_scrapes = 0
+        self.stale_drops = 0
+        self._last_stamp: dict[tuple[str, int], float] = {}
+
+    async def _scrape_target(self, host: str, port: int,
+                             now: float) -> bool:
+        try:
+            samples = parse_exposition(await self._fetch(host, port))
+        except (OSError, TelemetryError, asyncio.TimeoutError,
+                TimeoutError, asyncio.IncompleteReadError,
+                UnicodeDecodeError):
+            self.failed_scrapes += 1
+            return False
+        key = (host, port)
+        if self._last_stamp.get(key, float("-inf")) > now:
+            # This fetch outlived its round (a stalled connection that
+            # finally answered) and a newer round has already landed for
+            # the target; appending would go back in time. Drop it —
+            # exactly what Prometheus does with samples older than the
+            # series head.
+            self.stale_drops += 1
+            return False
+        self._last_stamp[key] = now
+        for series, metrics in samples.items():
+            for metric, value in metrics.items():
+                self.store.series(series, metric).append(now, value)
+        return True
 
     async def scrape_once(self, now: float | None = None) -> int:
         """Scrape every target once; returns how many targets answered.
 
-        All samples of one round share a single capture timestamp (the
-        round's start), keeping per-series appends time-ordered even when
-        target fetches straddle the next clock tick.
+        Targets are fetched concurrently (as Prometheus does) and each
+        target's samples land in the store the moment its fetch
+        completes, all stamped with the round's start time — a stalled
+        target (a blackholed replica holds its ``/metrics`` connection
+        open along with everything else) burns only its own fetch
+        timeout and cannot delay or date the round's healthy samples.
         """
         if now is None:
             now = self.clock()
-        answered = 0
-        for host, port in self.targets:
-            try:
-                text = await self._fetch(host, port)
-                samples = parse_exposition(text)
-            except (OSError, TelemetryError, asyncio.TimeoutError,
-                    TimeoutError, asyncio.IncompleteReadError,
-                    UnicodeDecodeError):
-                self.failed_scrapes += 1
-                continue
-            for series, metrics in samples.items():
-                for metric, value in metrics.items():
-                    self.store.series(series, metric).append(now, value)
-            answered += 1
+        results = await asyncio.gather(
+            *(self._scrape_target(host, port, now)
+              for host, port in self.targets))
         self.scrape_count += 1
-        return answered
+        return sum(results)
 
     async def run(self) -> None:
-        """Scrape forever on the configured cadence (cancel to stop)."""
-        while True:
-            await asyncio.sleep(self.interval_s)
-            await self.scrape_once()
+        """Scrape forever on the configured cadence (cancel to stop).
+
+        Rounds fire on the cadence regardless of how long the previous
+        round takes: each round runs as its own task, so one stalled
+        target cannot starve the controller of everyone else's fresh
+        telemetry (the fetch timeout bounds how many rounds overlap).
+        """
+        rounds: set[asyncio.Task] = set()
+        try:
+            while True:
+                await asyncio.sleep(self.interval_s)
+                round_task = asyncio.ensure_future(self.scrape_once())
+                rounds.add(round_task)
+                round_task.add_done_callback(rounds.discard)
+        finally:
+            for round_task in list(rounds):
+                round_task.cancel()
+            if rounds:
+                await asyncio.gather(*rounds, return_exceptions=True)

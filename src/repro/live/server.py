@@ -17,6 +17,16 @@ endpoint over a render callable.
 Both servers bind with port-collision retry (:func:`start_http_server`)
 and shut down gracefully: the listener closes first, in-flight handlers
 get a bounded drain, stragglers are cancelled.
+
+Both are also chaos targets (:mod:`repro.live.chaos`): a
+:class:`ReplicaServer` can :meth:`~ReplicaServer.crash` in the
+simulator's two down modes — ``fail_fast`` closes the listener so new
+connections are refused at the OS level, ``blackhole`` keeps accepting
+but never answers — and :meth:`~ReplicaServer.restart` re-binds the
+same port. Any server's ``/metrics`` page can be failed independently
+(:meth:`~_HttpServerBase.fail_metrics`: 500s or accept-then-stall), the
+live face of a scrape outage. Stalled handlers park on an internal gate
+that teardown and restarts release, so a chaos run never strands tasks.
 """
 
 from __future__ import annotations
@@ -25,8 +35,10 @@ import asyncio
 import errno
 
 from repro.errors import MeshError
+from repro.faults.faults import SCRAPE_OUTAGE_MODES
 from repro.live import httpwire
 from repro.live.exposition import render_exposition
+from repro.mesh.replica import DOWN_MODES
 from repro.telemetry import names as metric_names
 
 # How many consecutive ports to try before giving up on a bind.
@@ -62,6 +74,12 @@ class _HttpServerBase:
         self.port: int | None = None
         self._server: asyncio.Server | None = None
         self._handlers: set[asyncio.Task] = set()
+        # Injected /metrics failure (scrape outage): None, "error", "stall".
+        self.metrics_fail_mode: str | None = None
+        # Handlers told to stall (blackhole / stalled scrapes) park here;
+        # restarts and teardown release them so no task is left behind.
+        self._stall_gate = asyncio.Event()
+        self._stopped = False
 
     async def start(self, port: int) -> int:
         """Bind (with collision retry) and return the actual port."""
@@ -73,6 +91,8 @@ class _HttpServerBase:
 
     async def stop(self, drain_s: float = 2.0) -> None:
         """Stop listening, drain in-flight handlers, cancel stragglers."""
+        self._stopped = True
+        self.release_stalls()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -85,6 +105,44 @@ class _HttpServerBase:
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
         self._handlers.clear()
+
+    # ----------------------------------------- chaos hooks (scrapes) -- #
+
+    def fail_metrics(self, mode: str = "error") -> None:
+        """Break this server's /metrics page (live scrape outage)."""
+        if mode not in SCRAPE_OUTAGE_MODES:
+            raise MeshError(
+                f"metrics fail mode must be one of {SCRAPE_OUTAGE_MODES}: "
+                f"{mode!r}")
+        self.metrics_fail_mode = mode
+
+    def restore_metrics(self) -> None:
+        """Heal the /metrics page; stalled scrape handlers finish (500)."""
+        self.metrics_fail_mode = None
+        self.release_stalls()
+
+    def release_stalls(self) -> None:
+        """Unpark every stalled handler (they answer an error and close).
+
+        The clients those handlers were serving have long since timed
+        out; releasing just lets the handler tasks finish instead of
+        leaking into the harness's shutdown report.
+        """
+        gate, self._stall_gate = self._stall_gate, asyncio.Event()
+        gate.set()
+
+    async def _stalled(self) -> None:
+        """Park the current handler until the next release."""
+        await self._stall_gate.wait()
+
+    async def _metrics_page(self, render) -> tuple[int, bytes]:
+        """Serve /metrics through the injected failure mode, if any."""
+        mode = self.metrics_fail_mode
+        if mode == "stall":
+            await self._stalled()
+        if mode is not None:
+            return 500, b"scrape outage injected\n"
+        return 200, render().encode("utf-8")
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
@@ -140,10 +198,58 @@ class ReplicaServer(_HttpServerBase):
         self.inflight = 0
         self.requests_served = 0
         self.failures_served = 0
+        # Injected down state (None = up); see crash()/restart().
+        self.down_mode: str | None = None
+        self.crash_count = 0
+        self.restart_count = 0
+
+    # ------------------------------------------- chaos hooks (crash) -- #
+
+    async def crash(self, mode: str = "fail_fast") -> None:
+        """Take the replica down (live fault injection).
+
+        ``fail_fast`` closes the listener: new connections are refused
+        at the OS level (ECONNREFUSED — the platform's "pod is gone"),
+        while already-accepted requests finish. ``blackhole`` keeps the
+        listener: connections are accepted, bytes are read, and nothing
+        ever answers — only a client-side deadline turns the silence
+        into a signal.
+        """
+        if mode not in DOWN_MODES:
+            raise MeshError(
+                f"down mode must be one of {DOWN_MODES}: {mode!r}")
+        self.down_mode = mode
+        self.crash_count += 1
+        if mode == "fail_fast" and self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def restart(self) -> None:
+        """Bring a crashed replica back up (re-bind the same port).
+
+        Handlers stalled on a blackhole are released — their clients
+        already timed out, so they answer into closed sockets and exit.
+        Re-binding walks past a stolen port like :meth:`start` does; the
+        original port is free in practice because this server owned it.
+        """
+        self.down_mode = None
+        self.restart_count += 1
+        self.release_stalls()
+        if not self._stopped and self._server is None \
+                and self.port is not None:
+            self._server, self.port = await start_http_server(
+                self._handle_connection, self.host, self.port)
 
     async def _respond(self, path: str) -> tuple[int, bytes]:
+        if self.down_mode == "blackhole":
+            # Accept-then-stall: hold the connection open, answer only
+            # once a restart (or teardown) releases the gate — by which
+            # time the client is gone.
+            await self._stalled()
+            return 503, b"replica down\n"
         if path == "/metrics":
-            return 200, self.render_metrics().encode("utf-8")
+            return await self._metrics_page(self.render_metrics)
         if path != "/work":
             return 404, b"not found\n"
         return await self._work()
@@ -186,4 +292,4 @@ class MetricsServer(_HttpServerBase):
     async def _respond(self, path: str) -> tuple[int, bytes]:
         if path != "/metrics":
             return 404, b"not found\n"
-        return 200, self.render().encode("utf-8")
+        return await self._metrics_page(self.render)

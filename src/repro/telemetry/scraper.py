@@ -84,8 +84,14 @@ class Scraper:
         for series_name, metric, read in self._gauges:
             self.store.series(series_name, metric).append(now, float(read()))
 
-    def pause(self) -> None:
-        """Suspend scraping (fault injection: Prometheus outage)."""
+    def pause(self, mode: str = "error") -> None:
+        """Suspend scraping (fault injection: Prometheus outage).
+
+        ``mode`` exists for signature parity with the live substrate's
+        scrape-outage adapter (500s vs. stalls); in the simulator an
+        outage is the absence of samples either way, so it is ignored.
+        """
+        del mode
         self.paused = True
 
     def resume(self) -> None:

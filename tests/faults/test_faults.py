@@ -44,9 +44,11 @@ def injector(mesh):
 class FakeScraper:
     def __init__(self):
         self.paused = False
+        self.mode = None
 
-    def pause(self):
+    def pause(self, mode="error"):
         self.paused = True
+        self.mode = mode
 
     def resume(self):
         self.paused = False

@@ -2,15 +2,17 @@
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FaultSpecError
 from repro.faults import (
     ClusterOutage,
+    ControllerCrash,
     ControllerPause,
     LinkDegradation,
     LinkPartition,
     ReplicaCrash,
     ScrapeOutage,
     parse_fault_spec,
+    validate_fault_spec,
 )
 from repro.faults.spec import FAULT_KINDS, parse_fault_entry
 
@@ -122,6 +124,119 @@ class TestParseSpec:
 
     def test_every_kind_is_listed(self):
         assert FAULT_KINDS == (
-            "cluster-outage", "controller-pause", "link-degradation",
-            "link-partition", "replica-crash", "replica-restart",
-            "scrape-outage")
+            "cluster-outage", "controller-crash", "controller-pause",
+            "link-degradation", "link-partition", "replica-crash",
+            "replica-restart", "scrape-outage")
+
+
+class TestParseTimeValidation:
+    """Satellite: structural problems surface as FaultSpecError at parse
+    time — unknown targets, bad windows, overlapping schedules."""
+
+    def test_all_parse_errors_are_fault_spec_errors(self):
+        for bad in ("meteor-strike@10", "scrape-outage", "scrape-outage@x",
+                    "cluster-outage@60+30", "scrape-outage@40:cluster=a",
+                    "cluster-outage@1:cluster=a:mode=sideways", " ; "):
+            with pytest.raises(FaultSpecError):
+                parse_fault_spec(bad)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(FaultSpecError, match=">= 0"):
+            parse_fault_entry("scrape-outage@-5+10")
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(FaultSpecError, match="duration"):
+            parse_fault_entry("scrape-outage@5+0")
+        with pytest.raises(FaultSpecError, match="duration"):
+            parse_fault_entry("scrape-outage@5+-3")
+
+    def test_controller_crash_entry(self):
+        fault = parse_fault_entry("controller-crash@20+30:replica=1")
+        assert isinstance(fault, ControllerCrash)
+        assert fault.replica_index == 1
+        assert fault.duration_s == 30.0
+
+    def test_scrape_outage_mode(self):
+        fault = parse_fault_entry("scrape-outage@40+25:mode=stall")
+        assert fault.mode == "stall"
+        with pytest.raises(FaultSpecError, match="mode"):
+            parse_fault_entry("scrape-outage@40:mode=quietly")
+
+    def test_unknown_cluster_rejected_against_topology(self):
+        with pytest.raises(FaultSpecError, match="unknown cluster"):
+            parse_fault_spec("cluster-outage@1+2:cluster=cluster-9",
+                             clusters={"cluster-1", "cluster-2"})
+        with pytest.raises(FaultSpecError, match="unknown cluster"):
+            parse_fault_spec("link-partition@1+2:src=cluster-1:dst=nowhere",
+                             clusters={"cluster-1", "cluster-2"})
+
+    def test_unknown_service_rejected_against_topology(self):
+        with pytest.raises(FaultSpecError, match="unknown service"):
+            parse_fault_spec(
+                "replica-crash@1+2:service=db:cluster=cluster-1",
+                clusters={"cluster-1"}, services={"api"})
+
+    def test_known_names_pass(self):
+        faults = parse_fault_spec(
+            "cluster-outage@1+2:cluster=cluster-2 ;"
+            "link-partition@5+2:src=cluster-1:dst=cluster-2",
+            clusters={"cluster-1", "cluster-2"}, services={"api"})
+        assert len(faults) == 2
+
+    def test_names_unchecked_without_topology(self):
+        # No clusters/services given: only structure is checked.
+        assert parse_fault_spec("cluster-outage@1+2:cluster=anything")
+
+    def test_overlapping_windows_on_same_target_rejected(self):
+        with pytest.raises(FaultSpecError, match="overlapping"):
+            parse_fault_spec(
+                "cluster-outage@10+20:cluster=a ;"
+                "cluster-outage@25+10:cluster=a")
+
+    def test_forever_fault_overlaps_everything_after_it(self):
+        with pytest.raises(FaultSpecError, match="overlapping"):
+            parse_fault_spec(
+                "cluster-outage@10:cluster=a ;"          # never reverted
+                "cluster-outage@500+10:cluster=a")
+
+    def test_back_to_back_windows_are_fine(self):
+        # Half-open [start, end): revert at 30 precedes apply at 30.
+        faults = parse_fault_spec(
+            "cluster-outage@10+20:cluster=a ;"
+            "cluster-outage@30+10:cluster=a")
+        assert len(faults) == 2
+
+    def test_different_targets_may_overlap(self):
+        faults = parse_fault_spec(
+            "cluster-outage@10+20:cluster=a ;"
+            "cluster-outage@15+20:cluster=b ;"
+            "scrape-outage@12+30")
+        assert len(faults) == 3
+
+    def test_symmetric_link_faults_collide_on_the_reverse_pair(self):
+        with pytest.raises(FaultSpecError, match="overlapping"):
+            parse_fault_spec(
+                "link-partition@10+20:src=a:dst=b ;"
+                "link-partition@15+20:src=b:dst=a")
+        # One-directional faults on opposite directions coexist.
+        faults = parse_fault_spec(
+            "link-partition@10+20:src=a:dst=b:symmetric=false ;"
+            "link-partition@15+20:src=b:dst=a:symmetric=false")
+        assert len(faults) == 2
+
+    def test_instantaneous_restart_inside_a_crash_window_is_fine(self):
+        # ReplicaRestart is a heal event (empty window); pairing it with
+        # an open-ended crash on the same replica is the idiom.
+        faults = parse_fault_spec(
+            "replica-crash@10:service=api:cluster=a ;"
+            "replica-restart@40:service=api:cluster=a")
+        assert len(faults) == 2
+
+    def test_validate_fault_spec_on_constructed_faults(self):
+        from repro.faults import ClusterOutage as Outage
+        with pytest.raises(FaultSpecError, match="overlapping"):
+            validate_fault_spec([
+                Outage("a", at_s=0.0, duration_s=10.0),
+                Outage("a", at_s=5.0, duration_s=10.0)])
+        validate_fault_spec([Outage("a", at_s=0.0, duration_s=10.0)],
+                            clusters={"a"})

@@ -148,3 +148,13 @@ class TestLiveConfig:
         # Non-temporal tunables keep the paper's values.
         assert config.percentile == 0.99
         assert config.default_latency_s == 5.0
+
+    def test_live_l3_config_floors_window_at_three_scrape_intervals(self):
+        # rate() needs two samples in the window and a live round can
+        # land up to one interval late, so 2x the scrape interval (the
+        # simulator's minimum) flaps between 1 and 2 visible samples.
+        config = live_l3_config(0.5, scrape_interval_s=0.5)
+        assert config.metrics_window_s == pytest.approx(1.5)
+        # A window already wider than the floor is left alone.
+        wide = live_l3_config(5.0, scrape_interval_s=0.5)
+        assert wide.metrics_window_s == pytest.approx(10.0)

@@ -215,3 +215,64 @@ class TestOutlierEjection:
                    for name in BACKENDS)
         record = dispatch(proxy)
         assert record.backend in BACKENDS
+
+
+class TestRetryBackoff:
+    """Capped exponential backoff with full jitter (chaos satellite)."""
+
+    def make(self, **kwargs):
+        proxy, _ = make_proxy([], **kwargs)
+        return proxy
+
+    def test_default_is_the_historical_constant_backoff(self):
+        proxy = self.make(retry_backoff_s=0.2)
+        state = proxy.rng.getstate()
+        assert [proxy.backoff_delay(n) for n in (1, 2, 3, 5)] == [0.2] * 4
+        # No jitter configured: the rng stream is untouched.
+        assert proxy.rng.getstate() == state
+
+    def test_zero_base_never_sleeps_whatever_the_shape(self):
+        proxy = self.make(retry_backoff_multiplier=4.0, retry_jitter=True)
+        assert proxy.backoff_delay(1) == 0.0
+        assert proxy.backoff_delay(9) == 0.0
+
+    def test_exponential_growth_per_attempt(self):
+        proxy = self.make(retry_backoff_s=0.1, retry_backoff_multiplier=2.0)
+        delays = [proxy.backoff_delay(n) for n in (1, 2, 3, 4)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_cap_clamps_the_growth(self):
+        proxy = self.make(retry_backoff_s=0.1, retry_backoff_multiplier=2.0,
+                          retry_backoff_max_s=0.25)
+        delays = [proxy.backoff_delay(n) for n in (1, 2, 3, 4, 8)]
+        assert delays == pytest.approx([0.1, 0.2, 0.25, 0.25, 0.25])
+
+    def test_full_jitter_draws_uniformly_below_the_delay(self):
+        proxy = self.make(retry_backoff_s=0.1, retry_backoff_multiplier=2.0,
+                          retry_backoff_max_s=0.4, retry_jitter=True)
+        draws = [proxy.backoff_delay(4) for _ in range(200)]
+        assert all(0.0 <= d <= 0.4 for d in draws)
+        assert len(set(draws)) > 100          # actually random
+        assert max(draws) > 0.3               # spans the range
+        assert min(draws) < 0.1
+
+    def test_jitter_is_seeded_and_reproducible(self):
+        draws = []
+        for _ in range(2):
+            proxy = self.make(retry_backoff_s=0.1, retry_jitter=True)
+            draws.append([proxy.backoff_delay(1) for _ in range(20)])
+        assert draws[0] == draws[1]
+
+    def test_shape_validation(self):
+        with pytest.raises(MeshError):
+            self.make(retry_backoff_multiplier=0.5)
+        with pytest.raises(MeshError):
+            self.make(retry_backoff_max_s=0.0)
+
+    def test_dispatch_sleeps_the_computed_backoff(self):
+        proxy, _ = make_proxy([OSError("down"), True], max_retries=1,
+                              retry_backoff_s=0.01,
+                              retry_backoff_multiplier=2.0)
+        record = dispatch(proxy)
+        assert record.success
+        assert record.attempts == 2

@@ -150,3 +150,97 @@ class TestScrapeOnce:
     def test_interval_validation(self):
         with pytest.raises(TelemetryError):
             HttpScraper(TimeSeriesStore(), [], FakeClock(), interval_s=0.0)
+
+
+class TestConcurrentRounds:
+    """A stalled target must not starve anyone else's telemetry."""
+
+    def test_stalled_target_does_not_delay_healthy_samples(self):
+        """The healthy target's samples land while the stalled target's
+        fetch is still hanging — not after the round barrier."""
+        telemetry = BackendTelemetry("api/cluster-2", scrape_name=SERIES)
+        store = TimeSeriesStore()
+
+        async def scenario():
+            gate = asyncio.Event()
+
+            async def fetch(host, port):
+                if port == 9:
+                    await gate.wait()  # blackholed replica: hangs
+                    raise asyncio.TimeoutError()
+                return render_exposition([telemetry])
+
+            scraper = HttpScraper(store, [("h", 9), ("h", 1)],
+                                  FakeClock(3.0), fetch=fetch)
+            round_task = asyncio.ensure_future(scraper.scrape_once())
+            await asyncio.sleep(0)  # let both fetches start
+            await asyncio.sleep(0)
+            landed = store.series(
+                SERIES, names.REQUESTS_TOTAL).latest_in_window(0.0, 10.0)
+            gate.set()
+            answered = await round_task
+            return landed, answered
+
+        landed, answered = asyncio.run(scenario())
+        assert landed == (3.0, 0.0)  # fresh while port 9 still hung
+        assert answered == 1
+
+    def test_fetch_outliving_its_round_is_dropped(self):
+        """A stalled fetch that finally answers after a newer round has
+        landed for the target must not append back in time."""
+        telemetry = BackendTelemetry("api/cluster-2", scrape_name=SERIES)
+        store = TimeSeriesStore()
+        clock = FakeClock(1.0)
+
+        async def scenario():
+            gate = asyncio.Event()
+            slow_once = [True]
+
+            async def fetch(host, port):
+                if slow_once[0]:
+                    slow_once[0] = False
+                    await gate.wait()  # round 1's fetch stalls...
+                return render_exposition([telemetry])
+
+            scraper = HttpScraper(store, [("h", 1)], clock, fetch=fetch)
+            stalled = asyncio.ensure_future(scraper.scrape_once())
+            await asyncio.sleep(0)
+            clock.advance(2.0)
+            await scraper.scrape_once()  # ...round 2 lands at t=3
+            gate.set()  # round 1 answers late, stamped t=1
+            await stalled
+            return scraper
+
+        scraper = asyncio.run(scenario())
+        assert scraper.stale_drops == 1
+        assert scraper.failed_scrapes == 0
+        latest = store.series(SERIES, names.REQUESTS_TOTAL).latest_in_window(
+            0.0, 10.0)
+        assert latest[0] == 3.0  # only round 2's stamp; no back-in-time
+
+    def test_run_cancels_outstanding_rounds(self):
+        """Cancelling the scrape loop reaps in-flight round tasks — the
+        harness leak report must stay clean mid-stall."""
+
+        async def scenario():
+            started = asyncio.Event()
+
+            async def fetch(host, port):
+                started.set()
+                await asyncio.Event().wait()  # hangs forever
+
+            scraper = HttpScraper(TimeSeriesStore(), [("h", 1)],
+                                  FakeClock(), interval_s=0.01,
+                                  fetch=fetch)
+            loop_task = asyncio.ensure_future(scraper.run())
+            await started.wait()
+            loop_task.cancel()
+            try:
+                await loop_task
+            except asyncio.CancelledError:
+                pass
+            await asyncio.sleep(0)
+            return [t for t in asyncio.all_tasks()
+                    if t is not asyncio.current_task() and not t.done()]
+
+        assert asyncio.run(scenario()) == []

@@ -63,6 +63,13 @@ class TestRunWithFaults:
             main(["run", "--duration", "15",
                   "--faults", "meteor-strike@10"])
 
+    def test_unknown_fault_cluster_rejected_before_run(self):
+        from repro.errors import FaultSpecError
+
+        with pytest.raises(FaultSpecError, match="unknown cluster"):
+            main(["run", "--duration", "15",
+                  "--faults", "cluster-outage@5+5:cluster=nowhere"])
+
 
 class TestHotel:
     def test_runs_hotel(self, capsys):
@@ -149,3 +156,33 @@ class TestLiveCommand:
     def test_live_rejects_unknown_algorithm(self):
         with pytest.raises(SystemExit):
             main(["live", "--algorithm", "p2c"])
+
+    def test_live_chaos_run_reports_fault_log(self, tmp_path, capsys):
+        report = tmp_path / "chaos.json"
+        code = main(["live", "--duration", "4", "--rps", "30",
+                     "--port-base", "19800", "--ha-replicas", "2",
+                     "--lease-ttl", "1.5", "--request-timeout", "0.5",
+                     "--faults",
+                     "scrape-outage@1+1 ; controller-crash@2:replica=0",
+                     "--report", str(report)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[chaos" in out
+        assert "lease transitions" in out
+
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["clean_shutdown"] is True
+        assert payload["chaos_errors"] == []
+        assert [d.split(" ", 1)[0] for _t, d in payload["fault_log"]] == [
+            "apply", "revert", "apply"]
+        # The crashed leader was replaced: election + takeover.
+        assert len(payload["lease_transitions"]) == 2
+
+    def test_live_bad_fault_spec_fails_before_binding(self):
+        from repro.errors import FaultSpecError
+
+        with pytest.raises(FaultSpecError):
+            main(["live", "--duration", "2", "--port-base", "19820",
+                  "--faults", "cluster-outage@1+1:cluster=nowhere"])
