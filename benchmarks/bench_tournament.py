@@ -1,0 +1,128 @@
+"""Tournament baseline: the full algorithm × scenario grid, committed.
+
+Runs the complete tournament — every registered balancer against every
+grid cell (the five TIER-derived trace scenarios plus the
+degraded-backend and outage perturbation cells) — through the
+deterministic parallel sweep executor and writes the scored grid and
+leaderboard to ``BENCH_tournament.json`` at the repository root. The
+committed copy is the reference leaderboard: the simulation is a pure
+function of (algorithms, scenarios, duration, seed), so the document is
+byte-identical on any host at any ``--jobs`` value, and a diff in it
+means an algorithm's behavior actually changed.
+
+Run it::
+
+    python benchmarks/bench_tournament.py                 # full baseline
+    python benchmarks/bench_tournament.py --jobs 0        # all CPUs
+    python benchmarks/bench_tournament.py --check         # + the L3-vs-RR
+                                                          # P99 contract
+    python benchmarks/bench_tournament.py --verify-jobs   # prove the
+                                          # jobs-invariance on this host
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.tournament import (
+    check_contract,
+    render_leaderboard,
+    run_tournament,
+    tournament_json,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_tournament.json"
+
+# Baseline grid defaults: every algorithm, every scenario, 120 measured
+# seconds per cell, one seed. Long enough that the perturbation cells
+# hold a 45 s fault with clean pre/post windows; short enough to rerun.
+DEFAULT_DURATION_S = 120.0
+DEFAULT_SEED = 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="balancer tournament baseline "
+                    "(writes BENCH_tournament.json)")
+    parser.add_argument("--duration", type=float,
+                        default=DEFAULT_DURATION_S, metavar="SECONDS",
+                        help="measured seconds per cell "
+                             f"(default {DEFAULT_DURATION_S:g})")
+    parser.add_argument("--repetitions", type=int, default=1, metavar="N",
+                        help="seeds per cell, scores averaged (default 1)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help=f"first seed (default {DEFAULT_SEED})")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1 = serial; "
+                             "0 = all CPUs; the document is identical "
+                             "for every value)")
+    parser.add_argument("--algorithms", nargs="+", default=None,
+                        metavar="ALG",
+                        help="restrict the algorithm axis (default: all)")
+    parser.add_argument("--scenarios", nargs="+", default=None,
+                        metavar="CELL",
+                        help="restrict the scenario axis (default: all)")
+    parser.add_argument("--output", default=str(BASELINE_PATH),
+                        metavar="PATH",
+                        help="where to write the JSON document (default: "
+                             "BENCH_tournament.json at the repo root)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) unless L3 beats round-robin "
+                             "on P99 in the degraded-backend cell")
+    parser.add_argument("--verify-jobs", action="store_true",
+                        help="re-run the grid serially and assert the "
+                             "document is byte-identical to the "
+                             "parallel run")
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    result = run_tournament(
+        algorithms=args.algorithms, scenarios=args.scenarios,
+        duration_s=args.duration, repetitions=args.repetitions,
+        seed0=args.seed, jobs=args.jobs if args.jobs > 0 else None)
+    wall = time.perf_counter() - started
+    document = tournament_json(result)
+    blob = json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+    if args.verify_jobs and (args.jobs == 0 or args.jobs > 1):
+        serial = tournament_json(run_tournament(
+            algorithms=args.algorithms, scenarios=args.scenarios,
+            duration_s=args.duration, repetitions=args.repetitions,
+            seed0=args.seed, jobs=1))
+        serial_blob = json.dumps(serial, indent=2, sort_keys=True) + "\n"
+        if serial_blob != blob:
+            print("VERIFY FAILED: serial and parallel documents differ",
+                  file=sys.stderr)
+            return 1
+        print("verify-jobs OK: serial run is byte-identical")
+
+    print(render_leaderboard(document["leaderboard"]))
+    print(f"\n{len(result.algorithms)} algorithms x "
+          f"{len(result.scenarios)} scenarios x "
+          f"{result.repetitions} rep @ {result.duration_s:g}s "
+          f"in {wall:.1f}s wall")
+
+    failures = []
+    if args.check:
+        failures = check_contract(result)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        if not failures:
+            print("check OK: l3 beat round-robin on degraded-backend P99")
+
+    pathlib.Path(args.output).write_text(blob, encoding="utf-8")
+    print(f"wrote {args.output}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

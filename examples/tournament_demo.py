@@ -1,0 +1,43 @@
+"""A one-minute mini-tournament: race four balancers, print the leaderboard.
+
+Races the paper's headline pair (L3, round-robin) against two of the
+retrieved-work zoo (KnapsackLB, the distributed gradient split) on one
+trace scenario and the degraded-backend perturbation cell, then prints
+the scored grid and the leaderboard reduction.
+
+Usage::
+
+    python examples/tournament_demo.py              # 60 s per cell
+    python examples/tournament_demo.py 15           # quicker look
+"""
+
+import sys
+
+from repro.tournament import (
+    build_leaderboard,
+    render_grid,
+    render_leaderboard,
+    run_tournament,
+)
+
+ALGORITHMS = ("round-robin", "l3", "knapsack", "gradient")
+SCENARIOS = ("scenario-2", "degraded-backend")
+
+
+def main() -> int:
+    duration_s = float(sys.argv[1]) if len(sys.argv) > 1 else 60.0
+    print(f"mini-tournament: {', '.join(ALGORITHMS)} on "
+          f"{', '.join(SCENARIOS)} ({duration_s:g}s per cell)\n")
+    result = run_tournament(
+        algorithms=ALGORITHMS, scenarios=SCENARIOS,
+        duration_s=duration_s, jobs=1)
+    print(render_grid(result))
+    print()
+    print(render_leaderboard(build_leaderboard(result)))
+    winner = build_leaderboard(result)["ranking"][0]
+    print(f"\noverall winner on this grid: {winner}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,23 +1,76 @@
-"""Load-balancing algorithms: L3, the paper's comparators, and extensions."""
+"""Load-balancing algorithms: L3, the paper's comparators, and the zoo.
 
-from repro.balancers.base import Balancer
+Beyond the paper's own comparison set (round-robin, C3, L3 ± PeakEWMA)
+the package carries the retrieved-work zoo the tournament harness races:
+KnapsackLB's calibrated-curve knapsack solve, the distributed
+gradient-descent split, the workload-dependent service-rate solver, and
+the classical client-side family (P2C+PeakEWMA, least-outstanding,
+greedy EWMA-latency, locality failover). Every algorithm registers in
+:mod:`repro.balancers.factory`; ``BALANCER_NAMES`` is the one table.
+"""
+
+from repro.balancers.base import Balancer, validate_backend_pool
 from repro.balancers.c3 import C3Balancer, C3Config
+from repro.balancers.estimate import LoadCostModel
+from repro.balancers.ewma_latency import EwmaLatencyBalancer
 from repro.balancers.failover import FailoverBalancer
+from repro.balancers.gradient import (
+    GradientConfig,
+    GradientDescentBalancer,
+    project_to_floored_simplex,
+)
+from repro.balancers.knapsack import (
+    KnapsackConfig,
+    KnapsackLbBalancer,
+    greedy_allocation,
+)
 from repro.balancers.l3 import L3Balancer
+from repro.balancers.least_outstanding import LeastOutstandingBalancer
 from repro.balancers.p2c import P2cPeakEwmaBalancer
+from repro.balancers.periodic import PeriodicSplitBalancer
 from repro.balancers.round_robin import RoundRobinBalancer
+from repro.balancers.service_rate import (
+    ServiceRateAwareBalancer,
+    ServiceRateConfig,
+    solve_rate_shares,
+)
 from repro.balancers.static_weights import StaticWeightBalancer
-from repro.balancers.factory import BALANCER_NAMES, make_balancer
+from repro.balancers.factory import (
+    BALANCER_NAMES,
+    BalancerSpec,
+    balancer_specs,
+    controller_balancer_names,
+    make_balancer,
+    register_balancer,
+)
 
 __all__ = [
     "BALANCER_NAMES",
     "Balancer",
+    "BalancerSpec",
     "C3Balancer",
     "C3Config",
+    "EwmaLatencyBalancer",
     "FailoverBalancer",
+    "GradientConfig",
+    "GradientDescentBalancer",
+    "KnapsackConfig",
+    "KnapsackLbBalancer",
     "L3Balancer",
+    "LeastOutstandingBalancer",
+    "LoadCostModel",
     "P2cPeakEwmaBalancer",
+    "PeriodicSplitBalancer",
     "RoundRobinBalancer",
+    "ServiceRateAwareBalancer",
+    "ServiceRateConfig",
     "StaticWeightBalancer",
+    "balancer_specs",
+    "controller_balancer_names",
+    "greedy_allocation",
     "make_balancer",
+    "project_to_floored_simplex",
+    "register_balancer",
+    "solve_rate_shares",
+    "validate_backend_pool",
 ]

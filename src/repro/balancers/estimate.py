@@ -1,0 +1,74 @@
+"""Windowed latency-vs-load curve estimation shared by the weight solvers.
+
+KnapsackLB calibrates a per-backend latency-versus-throughput curve from
+passive observations and solves an allocation problem over the curves;
+the workload-dependent service-rate model does the same with service
+times. Both need the same primitive: a small rolling window of
+``(offered RPS, observed cost)`` points and a robust straight-line fit
+through them. A line is deliberately the whole model — with one client's
+vantage point and a handful of scrape windows per curve there is not
+enough signal to fit anything richer, and a clamped non-negative slope
+already captures the part that matters for allocation: *how fast does
+this backend degrade as I push load at it?*
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigError
+
+
+class LoadCostModel:
+    """Rolling linear fit of an observed cost against offered RPS.
+
+    ``observe(rps, cost)`` appends one windowed measurement;
+    ``predict(rps)`` evaluates the least-squares line through the window,
+    with two guard rails that keep the solvers sane on degenerate data:
+
+    * the slope is clamped to ``>= 0`` (a backend never *speeds up* under
+      added load; a negative raw slope is noise),
+    * the intercept is clamped to ``>= min_cost`` (costs are positive).
+
+    With fewer than two points — or a window with no load spread — the
+    fit degrades to the flat line through the mean observed cost (or the
+    ``default_cost`` prior before any observation at all).
+    """
+
+    def __init__(self, default_cost: float, max_points: int = 24,
+                 min_cost: float = 1e-4):
+        if default_cost <= 0:
+            raise ConfigError(f"default_cost must be positive: {default_cost}")
+        if max_points < 2:
+            raise ConfigError(f"max_points must be >= 2: {max_points}")
+        self.default_cost = default_cost
+        self.min_cost = min_cost
+        self._points: deque[tuple[float, float]] = deque(maxlen=max_points)
+
+    def observe(self, rps: float, cost: float) -> None:
+        """Record one (offered load, observed cost) measurement."""
+        self._points.append((max(rps, 0.0), max(cost, 0.0)))
+
+    @property
+    def observations(self) -> int:
+        return len(self._points)
+
+    def fit(self) -> tuple[float, float]:
+        """The fitted ``(base_cost, cost_per_rps)`` line."""
+        if not self._points:
+            return self.default_cost, 0.0
+        n = len(self._points)
+        mean_x = sum(x for x, _ in self._points) / n
+        mean_y = sum(y for _, y in self._points) / n
+        var = sum((x - mean_x) ** 2 for x, _ in self._points)
+        if n < 2 or var <= 1e-9:
+            return max(mean_y, self.min_cost), 0.0
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in self._points)
+        slope = max(cov / var, 0.0)
+        base = max(mean_y - slope * mean_x, self.min_cost)
+        return base, slope
+
+    def predict(self, rps: float) -> float:
+        """Predicted cost at ``rps`` offered load."""
+        base, slope = self.fit()
+        return base + slope * max(rps, 0.0)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.balancers.base import Balancer
+from repro.balancers.base import Balancer, validate_backend_pool
 from repro.errors import ConfigError
 
 
@@ -36,11 +36,7 @@ class FailoverBalancer(Balancer):
             window: number of recent responses the health check considers.
             ejection_s: how long an ejected backend stays out of rotation.
         """
-        names = list(preference_order)
-        if not names:
-            raise ConfigError("failover needs at least one backend")
-        if len(set(names)) != len(names):
-            raise ConfigError(f"duplicate backends: {names}")
+        names = validate_backend_pool(preference_order, "failover")
         if not 0.0 < unhealthy_threshold <= 1.0:
             raise ConfigError(
                 f"threshold must be in (0, 1]: {unhealthy_threshold}")

@@ -11,9 +11,8 @@ function).
 
 from __future__ import annotations
 
-from repro.balancers.base import Balancer
+from repro.balancers.base import Balancer, validate_backend_pool
 from repro.core.ewma import PeakEwma, half_life_to_beta
-from repro.errors import ConfigError
 
 
 class P2cPeakEwmaBalancer(Balancer):
@@ -21,11 +20,7 @@ class P2cPeakEwmaBalancer(Balancer):
 
     def __init__(self, backend_names, default_latency_s: float = 1.0,
                  half_life_s: float = 5.0, start_time: float = 0.0):
-        names = list(backend_names)
-        if not names:
-            raise ConfigError("p2c needs at least one backend")
-        if len(set(names)) != len(names):
-            raise ConfigError(f"duplicate backends: {names}")
+        names = validate_backend_pool(backend_names, "p2c")
         beta = half_life_to_beta(half_life_s)
         self._names = names
         self._latency = {

@@ -1,0 +1,66 @@
+"""Shared glue for balancers built as controller + TrafficSplit pairs.
+
+L3 and C3 each hand-wire the same three-piece sandwich: a TrafficSplit
+the data plane samples, a controller with a periodic ``reconcile`` that
+writes weights into it, and a simulator process running the reconcile
+loop. The new weight solvers (KnapsackLB, the service-rate model) repeat
+that shape, so this module factors it once: a controller only has to
+provide ``reconcile(now)``/``pause()``/``resume()`` plus the
+``last_weights``/``reconcile_count`` introspection fields, and
+:class:`PeriodicSplitBalancer` supplies the split, the pick path and the
+loop lifecycle. (L3 and C3 keep their original wiring untouched — they
+are pinned by the golden determinism digest.)
+"""
+
+from __future__ import annotations
+
+from repro.balancers.base import Balancer
+from repro.errors import Interrupted
+from repro.mesh.traffic_split import TrafficSplit
+from repro.sim.engine import Simulator
+
+
+class PeriodicSplitBalancer(Balancer):
+    """A TrafficSplit kept fresh by a periodic reconcile controller.
+
+    Subclasses construct their controller in ``__init__`` via
+    ``make_controller(split)`` and inherit pick/start/stop; the
+    controller's ``reconcile_interval_s`` config field sets the loop
+    cadence.
+    """
+
+    #: short name used for the simulator process label ("knapsack/api").
+    loop_label = "periodic"
+
+    def __init__(self, sim: Simulator, service: str, backend_names,
+                 make_controller, propagation_delay_s: float = 0.5):
+        self.sim = sim
+        self.split = TrafficSplit(
+            sim, service, backend_names,
+            propagation_delay_s=propagation_delay_s)
+        self.controller = make_controller(self.split)
+        self._loop = None
+
+    def pick(self, rng, now: float) -> str:
+        return self.split.pick(rng)
+
+    def _run(self, sim):
+        interval = self.controller.config.reconcile_interval_s
+        try:
+            while True:
+                yield sim.timeout(interval)
+                if not self.controller.paused:
+                    self.controller.reconcile(sim.now)
+        except Interrupted:
+            return
+
+    def start(self, sim) -> None:
+        if self._loop is not None and self._loop.is_alive:
+            return
+        self._loop = sim.spawn(
+            self._run(sim), name=f"{self.loop_label}/{self.split.service}")
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_alive:
+            self._loop.interrupt()
+        self._loop = None

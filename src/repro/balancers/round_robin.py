@@ -2,20 +2,14 @@
 
 from __future__ import annotations
 
-from repro.balancers.base import Balancer
-from repro.errors import ConfigError
+from repro.balancers.base import Balancer, validate_backend_pool
 
 
 class RoundRobinBalancer(Balancer):
     """Cycle through the backends in a fixed order, one request each."""
 
     def __init__(self, backend_names):
-        names = list(backend_names)
-        if not names:
-            raise ConfigError("round-robin needs at least one backend")
-        if len(set(names)) != len(names):
-            raise ConfigError(f"duplicate backends: {names}")
-        self._names = names
+        self._names = validate_backend_pool(backend_names, "round-robin")
         self._index = 0
 
     def pick(self, rng, now: float) -> str:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.percentiles import exact_percentile
 from repro.analysis.stats import success_rate
+from repro.balancers.factory import controller_balancer_names
 from repro.bench.coordinator import ScenarioBenchConfig, run_scenario_benchmark
 from repro.bench.parallel import Cell, run_cells
 from repro.bench.results import format_table
@@ -58,7 +59,9 @@ DEFAULT_ALGORITHMS = ("l3", "c3", "round-robin")
 
 # Algorithms with a reconcile-loop controller; ControllerPause targets
 # only these (pausing a controller that does not exist is meaningless).
-CONTROLLER_ALGORITHMS = ("l3", "l3-peak", "c3")
+# Derived from the balancer registry so new controller-based algorithms
+# join the matrix without edits here.
+CONTROLLER_ALGORITHMS = controller_balancer_names()
 
 
 def steady_scenario(duration_s: float, rps: float = 150.0,

@@ -17,6 +17,7 @@ import sys
 from repro.balancers.factory import BALANCER_NAMES
 from repro.bench.coordinator import run_hotel_benchmark, run_scenario_benchmark
 from repro.live.harness import LIVE_ALGORITHMS
+from repro.tournament.grid import TOURNAMENT_SCENARIO_NAMES
 from repro.tracing import TRACE_FORMATS
 from repro.workloads.scenarios import SCENARIO_NAMES
 
@@ -128,6 +129,40 @@ def _build_parser() -> argparse.ArgumentParser:
     hotel.add_argument("--rps", type=float, default=200.0)
     hotel.add_argument("--duration", type=float, default=120.0)
     hotel.add_argument("--seed", type=int, default=1)
+
+    tournament = commands.add_parser(
+        "tournament", help="race registered balancers across the "
+                           "tournament scenario grid and print the "
+                           "leaderboard")
+    tournament.add_argument("--algorithms", nargs="+",
+                            choices=BALANCER_NAMES, default=None,
+                            metavar="ALG",
+                            help="algorithms to race (default: every "
+                                 "registered one)")
+    tournament.add_argument("--scenarios", nargs="+",
+                            choices=TOURNAMENT_SCENARIO_NAMES,
+                            default=None, metavar="CELL",
+                            help="grid cells to run (default: the full "
+                                 "grid)")
+    tournament.add_argument("--duration", type=float, default=120.0,
+                            help="measured seconds per cell (default 120)")
+    tournament.add_argument("--repetitions", type=int, default=1,
+                            metavar="N",
+                            help="seeds per cell; scores are averaged "
+                                 "(default 1)")
+    tournament.add_argument("--seed", type=int, default=1,
+                            help="first seed (repetition r uses seed+r)")
+    tournament.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="worker processes (default 1 = serial; "
+                                 "0 = all CPUs; results are identical "
+                                 "for every value)")
+    tournament.add_argument("--output", metavar="OUT", default=None,
+                            help="write the tournament document "
+                                 "(grid + leaderboard) as JSON to OUT")
+    tournament.add_argument("--check", action="store_true",
+                            help="exit nonzero unless L3 beats "
+                                 "round-robin on P99 in the "
+                                 "degraded-backend cell")
 
     figure = commands.add_parser(
         "figure", help="regenerate one of the paper's figures")
@@ -290,6 +325,7 @@ def main(argv=None) -> int:
         print("algorithms:", ", ".join(BALANCER_NAMES))
         print("figures:   ", ", ".join(FIGURES))
         print("faults:    ", ", ".join(FAULT_KINDS))
+        print("tournament:", ", ".join(TOURNAMENT_SCENARIO_NAMES))
         return 0
 
     if args.command == "run":
@@ -377,6 +413,39 @@ def main(argv=None) -> int:
             args.algorithm, rps=args.rps, duration_s=args.duration,
             seed=args.seed)
         _print_result(result)
+        return 0
+
+    if args.command == "tournament":
+        import json
+
+        from repro.tournament import (
+            check_contract,
+            render_grid,
+            render_leaderboard,
+            run_tournament,
+            tournament_json,
+        )
+
+        result = run_tournament(
+            algorithms=args.algorithms, scenarios=args.scenarios,
+            duration_s=args.duration, repetitions=args.repetitions,
+            seed0=args.seed, jobs=args.jobs if args.jobs > 0 else None)
+        document = tournament_json(result)
+        print(render_grid(result))
+        print()
+        print(render_leaderboard(document["leaderboard"]))
+        if args.output is not None:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"\nwrote tournament document to {args.output}")
+        if args.check:
+            failures = check_contract(result)
+            if failures:
+                for failure in failures:
+                    print(f"CHECK FAILED: {failure}")
+                return 1
+            print("check OK: l3 beat round-robin on degraded-backend P99")
         return 0
 
     if args.command == "figure":

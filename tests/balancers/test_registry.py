@@ -1,0 +1,109 @@
+"""Tests for the decorator-based balancer registry."""
+
+import pytest
+
+from repro.balancers import (
+    C3Balancer,
+    EwmaLatencyBalancer,
+    FailoverBalancer,
+    GradientDescentBalancer,
+    KnapsackLbBalancer,
+    L3Balancer,
+    LeastOutstandingBalancer,
+    P2cPeakEwmaBalancer,
+    RoundRobinBalancer,
+    ServiceRateAwareBalancer,
+)
+from repro.balancers.factory import (
+    BALANCER_NAMES,
+    balancer_specs,
+    controller_balancer_names,
+    make_balancer,
+    register_balancer,
+)
+from repro.errors import ConfigError
+
+BACKENDS = ["api/cluster-1", "api/cluster-2"]
+
+EXPECTED_CLASSES = {
+    "round-robin": RoundRobinBalancer,
+    "c3": C3Balancer,
+    "l3": L3Balancer,
+    "l3-peak": L3Balancer,
+    "p2c": P2cPeakEwmaBalancer,
+    "failover": FailoverBalancer,
+    "least-outstanding": LeastOutstandingBalancer,
+    "ewma": EwmaLatencyBalancer,
+    "knapsack": KnapsackLbBalancer,
+    "gradient": GradientDescentBalancer,
+    "service-rate": ServiceRateAwareBalancer,
+}
+
+
+class FakeSource:
+    def collect(self, backend_names, now, window_s, percentile):
+        return {name: None for name in backend_names}
+
+
+class TestRegistry:
+    def test_names_derive_from_registry(self):
+        assert BALANCER_NAMES == tuple(
+            spec.name for spec in balancer_specs())
+        # The original six stay first, in their historical order (CLI
+        # choices and docs depend on it).
+        assert BALANCER_NAMES[:6] == (
+            "round-robin", "c3", "l3", "l3-peak", "p2c", "failover")
+        assert len(BALANCER_NAMES) >= 9
+
+    def test_every_name_builds_its_class(self, sim):
+        for name, expected in EXPECTED_CLASSES.items():
+            balancer = make_balancer(
+                name, sim, "api", BACKENDS, FakeSource(),
+                local_cluster="cluster-1")
+            assert isinstance(balancer, expected), name
+
+    def test_unknown_name_lists_valid_set(self, sim):
+        with pytest.raises(ConfigError, match="round-robin"):
+            make_balancer("psychic", sim, "api", BACKENDS, FakeSource())
+
+    def test_controller_flag_matches_reality(self, sim):
+        controller_names = controller_balancer_names()
+        for name in BALANCER_NAMES:
+            balancer = make_balancer(
+                name, sim, "api", BACKENDS, FakeSource(),
+                local_cluster="cluster-1")
+            has_controller = getattr(balancer, "controller", None) is not None
+            assert has_controller == (name in controller_names), name
+
+    def test_controller_interface_uniform(self, sim):
+        """Every controller exposes the pause/introspection surface the
+        fault injector and the coordinator program against."""
+        for name in controller_balancer_names():
+            balancer = make_balancer(
+                name, sim, "api", BACKENDS, FakeSource())
+            controller = balancer.controller
+            assert hasattr(controller, "reconcile")
+            assert hasattr(controller, "pause")
+            assert hasattr(controller, "resume")
+            assert controller.reconcile_count == 0
+            assert controller.last_weights == {}
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError, match="registered twice"):
+            register_balancer("l3", summary="imposter")(lambda ctx: None)
+
+    def test_specs_have_summaries(self):
+        for spec in balancer_specs():
+            assert spec.summary, spec.name
+
+    def test_l3_peak_flag_forced(self, sim):
+        plain = make_balancer("l3", sim, "api", BACKENDS, FakeSource())
+        peak = make_balancer("l3-peak", sim, "api", BACKENDS, FakeSource())
+        assert plain.config.use_peak_ewma is False
+        assert peak.config.use_peak_ewma is True
+
+    def test_failover_prefers_local_cluster(self, sim):
+        balancer = make_balancer(
+            "failover", sim, "api", BACKENDS, FakeSource(),
+            local_cluster="cluster-2")
+        assert balancer._order[0] == "api/cluster-2"

@@ -1,0 +1,328 @@
+"""Tests for the retrieved-work balancer zoo and its shared helpers."""
+
+import collections
+
+import pytest
+
+from repro.balancers.estimate import LoadCostModel
+from repro.balancers.ewma_latency import EwmaLatencyBalancer
+from repro.balancers.gradient import (
+    GradientConfig,
+    GradientDescentBalancer,
+    project_to_floored_simplex,
+)
+from repro.balancers.knapsack import (
+    KnapsackConfig,
+    KnapsackLbController,
+    greedy_allocation,
+)
+from repro.balancers.least_outstanding import LeastOutstandingBalancer
+from repro.balancers.service_rate import (
+    ServiceRateConfig,
+    ServiceRateController,
+    solve_rate_shares,
+)
+from repro.errors import ConfigError
+
+
+class FakeSink:
+    def __init__(self):
+        self.pushed = []
+
+    def set_weights(self, weights, now):
+        self.pushed.append((now, dict(weights)))
+
+
+class FakeSource:
+    """Minimal MetricsSource double: returns canned MetricSample-likes."""
+
+    def __init__(self, samples):
+        self.samples = samples
+
+    def collect(self, backend_names, now, window_s, percentile):
+        return {name: self.samples.get(name) for name in backend_names}
+
+
+class Sample:
+    def __init__(self, rps=10.0, mean_latency_s=0.05, latency_s=0.1,
+                 inflight=0.0):
+        self.rps = rps
+        self.mean_latency_s = mean_latency_s
+        self.latency_s = latency_s
+        self.inflight = inflight
+        self.success_rate = 1.0
+
+
+class TestLoadCostModel:
+    def test_prior_before_observations(self):
+        model = LoadCostModel(0.2)
+        assert model.predict(100.0) == 0.2
+
+    def test_flat_fit_on_single_point(self):
+        model = LoadCostModel(0.2)
+        model.observe(10.0, 0.05)
+        assert model.predict(1000.0) == pytest.approx(0.05)
+
+    def test_recovers_linear_curve(self):
+        model = LoadCostModel(0.2)
+        for rps in (10.0, 20.0, 30.0, 40.0):
+            model.observe(rps, 0.010 + 0.002 * rps)
+        base, slope = model.fit()
+        assert base == pytest.approx(0.010, abs=1e-6)
+        assert slope == pytest.approx(0.002, abs=1e-9)
+
+    def test_negative_slope_clamped(self):
+        model = LoadCostModel(0.2)
+        model.observe(10.0, 0.5)
+        model.observe(50.0, 0.1)  # noise: faster under more load
+        base, slope = model.fit()
+        assert slope == 0.0
+        assert base > 0
+
+    def test_window_rolls_over(self):
+        model = LoadCostModel(0.2, max_points=4)
+        for _ in range(10):
+            model.observe(10.0, 0.05)
+        assert model.observations == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LoadCostModel(0.0)
+        with pytest.raises(ConfigError):
+            LoadCostModel(0.1, max_points=1)
+
+
+class TestLeastOutstanding:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LeastOutstandingBalancer([])
+        with pytest.raises(ConfigError):
+            LeastOutstandingBalancer(["a", "a"])
+
+    def test_single_backend(self, rng):
+        balancer = LeastOutstandingBalancer(["only"])
+        assert balancer.pick(rng, 0.0) == "only"
+
+    def test_picks_least_loaded(self, rng):
+        balancer = LeastOutstandingBalancer(["a", "b", "c"])
+        for _ in range(5):
+            balancer.on_request_sent("a", 0.0)
+        balancer.on_request_sent("b", 0.0)
+        assert all(balancer.pick(rng, 0.0) == "c" for _ in range(20))
+
+    def test_ties_split_between_minimum_set(self, rng):
+        balancer = LeastOutstandingBalancer(["a", "b", "c"])
+        for _ in range(5):
+            balancer.on_request_sent("a", 0.0)
+        counts = collections.Counter(
+            balancer.pick(rng, 0.0) for _ in range(2000))
+        assert counts["a"] == 0
+        assert counts["b"] > 800 and counts["c"] > 800
+
+    def test_inflight_never_negative(self):
+        balancer = LeastOutstandingBalancer(["a", "b"])
+        balancer.on_response("a", 1.0, 0.1, True)
+        assert balancer._inflight["a"] == 0
+
+
+class TestEwmaLatency:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EwmaLatencyBalancer([])
+        with pytest.raises(ConfigError):
+            EwmaLatencyBalancer(["a", "a"])
+
+    def test_single_backend(self, rng):
+        balancer = EwmaLatencyBalancer(["only"])
+        assert balancer.pick(rng, 0.0) == "only"
+
+    def test_herds_to_fastest(self, rng):
+        balancer = EwmaLatencyBalancer(["fast", "slow"], start_time=0.0)
+        for i in range(50):
+            balancer.on_response("fast", float(i), 0.010, True)
+            balancer.on_response("slow", float(i), 0.500, True)
+        counts = collections.Counter(
+            balancer.pick(rng, 50.0) for _ in range(1000))
+        # Greedy argmin plus ~10 % exploration split across 2 backends.
+        assert counts["fast"] > 900
+
+    def test_exploration_keeps_sampling_losers(self, rng):
+        balancer = EwmaLatencyBalancer(["fast", "slow"], start_time=0.0)
+        balancer.on_response("fast", 0.0, 0.010, True)
+        balancer.on_response("slow", 0.0, 0.500, True)
+        counts = collections.Counter(
+            balancer.pick(rng, 1.0) for _ in range(5000))
+        assert counts["slow"] > 100  # epsilon/n of 5000 ~ 250
+
+
+class TestGradientDescent:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GradientDescentBalancer([])
+        with pytest.raises(ConfigError):
+            GradientDescentBalancer(["a", "a"])
+        with pytest.raises(ConfigError):
+            GradientConfig(step_size=0.0)
+        with pytest.raises(ConfigError):
+            GradientConfig(min_share=1.0)
+        with pytest.raises(ConfigError):
+            # floor infeasible: 3 backends x 0.4 > 1
+            GradientDescentBalancer(
+                ["a", "b", "c"], GradientConfig(min_share=0.4))
+
+    def test_single_backend(self, rng):
+        balancer = GradientDescentBalancer(["only"])
+        assert balancer.pick(rng, 0.0) == "only"
+
+    def test_starts_uniform(self):
+        balancer = GradientDescentBalancer(["a", "b", "c", "d"])
+        assert all(share == pytest.approx(0.25)
+                   for share in balancer.shares.values())
+
+    def test_update_moves_mass_to_cheap_backend(self):
+        balancer = GradientDescentBalancer(["cheap", "dear"])
+        for _ in range(20):
+            balancer.on_response("cheap", 0.0, 0.010, True)
+            balancer.on_response("dear", 0.0, 0.200, True)
+        balancer.update(5.0)
+        assert balancer.shares["cheap"] > 0.5 > balancer.shares["dear"]
+
+    def test_converges_to_floor_on_persistent_gap(self):
+        config = GradientConfig(min_share=0.05)
+        balancer = GradientDescentBalancer(["cheap", "dear"], config)
+        for round_ in range(30):
+            for _ in range(20):
+                balancer.on_response("cheap", float(round_), 0.010, True)
+                balancer.on_response("dear", float(round_), 0.200, True)
+            balancer.update(float(round_))
+        assert balancer.shares["dear"] == pytest.approx(0.05)
+        assert balancer.shares["cheap"] == pytest.approx(0.95)
+        assert sum(balancer.shares.values()) == pytest.approx(1.0)
+
+    def test_failures_are_expensive(self):
+        balancer = GradientDescentBalancer(["up", "down"])
+        for _ in range(20):
+            balancer.on_response("up", 0.0, 0.050, True)
+            balancer.on_response("down", 0.0, 0.050, False)
+        balancer.update(5.0)
+        assert balancer.shares["up"] > balancer.shares["down"]
+
+    def test_estimate_persists_without_samples(self):
+        balancer = GradientDescentBalancer(["a", "b"])
+        for _ in range(10):
+            balancer.on_response("a", 0.0, 0.010, True)
+            balancer.on_response("b", 0.0, 0.200, True)
+        balancer.update(5.0)
+        after_first = dict(balancer.shares)
+        balancer.update(10.0)  # no new samples: same gradient re-applied
+        assert balancer.shares["a"] >= after_first["a"]
+
+    def test_projection_properties(self):
+        shares = project_to_floored_simplex(
+            {"a": 0.9, "b": 0.005, "c": 0.095}, floor=0.02)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert all(share >= 0.02 - 1e-12 for share in shares.values())
+        degenerate = project_to_floored_simplex(
+            {"a": 0.0, "b": 0.0}, floor=0.1)
+        assert degenerate == {"a": 0.5, "b": 0.5}
+
+
+class TestKnapsack:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            KnapsackLbController([], FakeSource({}), FakeSink())
+        with pytest.raises(ConfigError):
+            KnapsackConfig(allocation_units=0)
+        with pytest.raises(ConfigError):
+            KnapsackConfig(latency_signal="p999")
+
+    def test_greedy_equalises_marginal_latency(self):
+        # Equal bases, slopes 1:3 -> allocation settles near 3:1.
+        fast = LoadCostModel(0.1)
+        slow = LoadCostModel(0.1)
+        for rps in (10.0, 20.0, 30.0):
+            fast.observe(rps, 0.010 + 0.001 * rps)
+            slow.observe(rps, 0.010 + 0.003 * rps)
+        counts = greedy_allocation(
+            {"fast": fast, "slow": slow}, total_rps=100.0, units=100)
+        assert counts["fast"] + counts["slow"] == 100
+        assert counts["fast"] == pytest.approx(75, abs=3)
+
+    def test_cold_start_ranks_on_base_latency(self):
+        near = LoadCostModel(0.020)
+        far = LoadCostModel(0.080)
+        counts = greedy_allocation(
+            {"near": near, "far": far}, total_rps=0.0, units=10)
+        assert counts["near"] == 10 and counts["far"] == 0
+
+    def test_reconcile_pushes_floored_weights(self):
+        sink = FakeSink()
+        source = FakeSource({
+            "a": Sample(rps=50.0, mean_latency_s=0.020),
+            "b": Sample(rps=50.0, mean_latency_s=0.900),
+        })
+        controller = KnapsackLbController(["a", "b"], source, sink)
+        for now in (5.0, 10.0, 15.0):
+            weights = controller.reconcile(now)
+        assert controller.reconcile_count == 3
+        assert weights["a"] > weights["b"] >= 1  # floor keeps probes alive
+        assert sink.pushed[-1][0] == 15.0
+
+    def test_missing_samples_keep_prior(self):
+        sink = FakeSink()
+        controller = KnapsackLbController(
+            ["a", "b"], FakeSource({}), sink)
+        weights = controller.reconcile(5.0)
+        assert set(weights) == {"a", "b"}
+        assert all(weight >= 1 for weight in weights.values())
+
+    def test_pause_resume(self):
+        controller = KnapsackLbController(
+            ["a"], FakeSource({}), FakeSink())
+        controller.pause()
+        assert controller.paused
+        controller.resume()
+        assert not controller.paused
+
+
+class TestServiceRate:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ServiceRateController([], FakeSource({}), FakeSink())
+        with pytest.raises(ConfigError):
+            ServiceRateConfig(solve_iterations=0)
+
+    def test_fixed_point_shares_proportional_to_rates(self):
+        # Constant service times (no load dependence): shares must be
+        # proportional to the service rates 1/s0.
+        fast = LoadCostModel(0.010)
+        slow = LoadCostModel(0.030)
+        shares = solve_rate_shares(
+            {"fast": fast, "slow": slow}, total_rps=100.0, iterations=8)
+        assert shares["fast"] == pytest.approx(0.75, abs=1e-6)
+        assert shares["slow"] == pytest.approx(0.25, abs=1e-6)
+
+    def test_load_dependent_rate_shifts_share(self):
+        flat = LoadCostModel(0.010)
+        degrading = LoadCostModel(0.010)
+        for rps in (10.0, 30.0, 50.0):
+            flat.observe(rps, 0.010)
+            degrading.observe(rps, 0.010 + 0.001 * rps)
+        shares = solve_rate_shares(
+            {"flat": flat, "degrading": degrading},
+            total_rps=200.0, iterations=8)
+        assert shares["flat"] > shares["degrading"]
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_reconcile_deflates_by_queue_depth(self):
+        sink = FakeSink()
+        source = FakeSource({
+            # Same latency, but "queued" holds 4 in flight: its service
+            # time estimate is latency/5, so it earns the larger share.
+            "lone": Sample(rps=50.0, mean_latency_s=0.100, inflight=0.0),
+            "queued": Sample(rps=50.0, mean_latency_s=0.100, inflight=4.0),
+        })
+        controller = ServiceRateController(["lone", "queued"], source, sink)
+        weights = controller.reconcile(5.0)
+        assert weights["queued"] > weights["lone"]
+        assert controller.last_weights == weights

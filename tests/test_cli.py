@@ -186,3 +186,52 @@ class TestLiveCommand:
         with pytest.raises(FaultSpecError):
             main(["live", "--duration", "2", "--port-base", "19820",
                   "--faults", "cluster-outage@1+1:cluster=nowhere"])
+
+
+class TestTournament:
+    def test_small_grid_prints_leaderboard(self, tmp_path, capsys):
+        out_path = tmp_path / "tournament.json"
+        code = main(["tournament", "--algorithms", "round-robin", "p2c",
+                     "--scenarios", "scenario-1", "--duration", "15",
+                     "--output", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "leaderboard" in out
+        assert "head-to-head" in out
+
+        import json
+
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == 1
+        assert set(document["grid"]) == {"scenario-1"}
+        assert set(document["grid"]["scenario-1"]) == {"round-robin", "p2c"}
+        assert document["leaderboard"]["ranking"]
+
+    def test_check_passes_on_degraded_backend(self, capsys):
+        code = main(["tournament", "--algorithms", "l3", "round-robin",
+                     "--scenarios", "degraded-backend", "--duration", "24",
+                     "--check"])
+        assert code == 0
+        assert "check OK" in capsys.readouterr().out
+
+    def test_check_without_required_cells_fails(self, capsys):
+        code = main(["tournament", "--algorithms", "p2c",
+                     "--scenarios", "scenario-1", "--duration", "15",
+                     "--check"])
+        assert code == 1
+        assert "CHECK FAILED" in capsys.readouterr().out
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["tournament", "--algorithms", "nope",
+                  "--scenarios", "scenario-1"])
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["tournament", "--scenarios", "nope"])
+
+    def test_list_mentions_tournament_grid(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "tournament:" in out
+        assert "degraded-backend" in out

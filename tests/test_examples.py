@@ -60,6 +60,13 @@ class TestExamples:
         assert "weight trajectory" in result.stdout
         assert "clean shutdown: True" in result.stdout
 
+    def test_tournament_demo(self):
+        result = run_example("tournament_demo.py", "12")
+        assert result.returncode == 0, result.stderr
+        assert "leaderboard" in result.stdout
+        assert "head-to-head" in result.stdout
+        assert "overall winner on this grid:" in result.stdout
+
     def test_custom_mesh(self):
         result = run_example("custom_mesh.py")
         assert result.returncode == 0, result.stderr
@@ -73,7 +80,7 @@ class TestExamples:
 @pytest.mark.parametrize("name", [
     "quickstart.py", "hotel_reservation.py", "failure_injection.py",
     "custom_mesh.py", "autoscaling.py", "cost_aware.py",
-    "social_network.py", "live_demo.py",
+    "social_network.py", "live_demo.py", "tournament_demo.py",
 ])
 def test_example_compiles(name):
     """Every example at least byte-compiles (including the slow ones)."""

@@ -38,12 +38,13 @@ class TestSubpackages:
         import repro.mesh
         import repro.sim
         import repro.telemetry
+        import repro.tournament
         import repro.tracing
         import repro.workloads
 
         for pkg in (repro.analysis, repro.balancers, repro.core, repro.mesh,
-                    repro.sim, repro.telemetry, repro.tracing,
-                    repro.workloads):
+                    repro.sim, repro.telemetry, repro.tournament,
+                    repro.tracing, repro.workloads):
             assert pkg.__all__, pkg.__name__
             for name in pkg.__all__:
                 assert hasattr(pkg, name), f"{pkg.__name__}.{name}"
