@@ -137,14 +137,15 @@ def measure_sweep(duration_s: float, cells: int, jobs: int) -> dict:
         "cell_duration_s": duration_s,
         "jobs": jobs,
         "cpus": cpus,
-        # On a single-CPU host jobs=N only adds process overhead; the
-        # speedup number is then expected to be < 1 and meaningless as a
-        # regression signal (--check ignores the sweep in that case).
+        # On a single-CPU host jobs=N only adds process overhead; a
+        # "speedup" measured there is pure noise, so it is recorded as
+        # null rather than as a misleading sub-1.0 number (--check
+        # ignores the sweep in that case either way).
         "speedup_meaningful": cpus >= 2,
         "jobs1_wall_clock_s": round(timings[1], 3),
         "jobsN_wall_clock_s": round(timings[jobs], 3),
         "speedup": round(timings[1] / timings[jobs], 2)
-        if timings[jobs] > 0 else None,
+        if cpus >= 2 and timings[jobs] > 0 else None,
     }
 
 
@@ -262,7 +263,11 @@ def main(argv=None) -> int:
               f"{sweep['cell_duration_s']:g}s sim")
         print(f"  jobs=1         {sweep['jobs1_wall_clock_s']:>11.3f}s")
         print(f"  jobs={sweep['jobs']:<10}{sweep['jobsN_wall_clock_s']:>14.3f}s")
-        print(f"  speedup        {sweep['speedup']:>12}x")
+        if sweep["speedup"] is None:
+            print(f"  speedup        {'n/a':>12}  "
+                  f"({sweep['cpus']} cpu host)")
+        else:
+            print(f"  speedup        {sweep['speedup']:>12}x")
 
     problems = []
     if args.check:

@@ -17,7 +17,7 @@ from repro.balancers.factory import make_balancer
 from repro.core.config import L3Config
 from repro.errors import ConfigError
 from repro.faults.base import FaultInjector
-from repro.mesh.fastdispatch import FastRequestEngine
+from repro.mesh.fastdispatch import FastRequestEngine, VectorRequestEngine
 from repro.mesh.mesh import ServiceMesh
 from repro.mesh.network import WanLink
 from repro.sim.engine import Simulator
@@ -34,10 +34,12 @@ SCENARIO_SERVICE = "api"
 
 # Request-lifecycle engines for scenario benchmarks: "fast" drives each
 # request as a pooled-callback state machine
-# (:mod:`repro.mesh.fastdispatch`); "process" spawns one generator
-# process per request (the original reference implementation). The two
-# are event-order identical — same records, same digests.
-ENGINE_NAMES = ("fast", "process")
+# (:mod:`repro.mesh.fastdispatch`); "vector" is its numpy-chunked twin
+# (banked RNG draws, chunked telemetry, inline tail hops — requires the
+# [fleet] extra); "process" spawns one generator process per request
+# (the original reference implementation). All three are event-order
+# identical — same records, same digests.
+ENGINE_NAMES = ("fast", "vector", "process")
 
 
 @dataclass(frozen=True)
@@ -67,6 +69,9 @@ class ScenarioBenchConfig:
     # Optional consecutive-failure circuit breaker
     # (repro.mesh.ejection.OutlierEjectionConfig).
     outlier_ejection: object | None = None
+    # Client arrival process: "uniform" (wrk2-style constant spacing, the
+    # paper's setup) or "poisson" (exponential inter-arrival gaps).
+    arrival: str = "uniform"
 
     def __post_init__(self):
         for name in ("warmup_s", "replica_capacity", "scrape_interval_s",
@@ -160,9 +165,20 @@ def _build_scenario_mesh(scenario: Scenario, seed: int,
     mesh = ServiceMesh(
         sim, rng, clusters=scenario.clusters(),
         wan_link=WanLink(base_delay_s=env.wan_base_delay_s))
+    # Fleet scenarios carry their own topology: per-cluster replica
+    # counts, capacities, and a WAN link matrix replace the uniform
+    # defaults above.
+    topology = scenario.topology
+    replicas: int | dict = env.replicas
+    replica_capacity: int | dict = env.replica_capacity
+    if topology is not None:
+        replicas = topology.replicas
+        replica_capacity = topology.capacities
+        for (src, dst), link in topology.links.items():
+            mesh.network.set_link(src, dst, link, symmetric=False)
     mesh.deploy_service(
         SCENARIO_SERVICE, profiles=scenario.cluster_profiles,
-        replicas=env.replicas, replica_capacity=env.replica_capacity)
+        replicas=replicas, replica_capacity=replica_capacity)
     return sim, rng, mesh
 
 
@@ -259,10 +275,17 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
 
     records: list = []
     loadgen = OpenLoopLoadGenerator(
-        proxy, scenario.rps, rng.stream("loadgen"), records)
+        proxy, scenario.rps, rng.stream("loadgen"), records,
+        arrival=env.arrival)
     total = env.warmup_s + duration_s
+    dispatcher = None
     if engine == "fast":
-        loadgen.start_fast(sim, total, FastRequestEngine(sim, proxy, records))
+        dispatcher = FastRequestEngine(sim, proxy, records)
+    elif engine == "vector":
+        dispatcher = VectorRequestEngine(sim, proxy, records)
+        dispatcher.attach_scraper(scraper)
+    if dispatcher is not None:
+        loadgen.start_fast(sim, total, dispatcher)
     else:
         sim.spawn(loadgen.run(sim, total), name="loadgen")
 
@@ -271,6 +294,12 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
     scrape_proc.interrupt()
     # Let in-flight requests finish so tail samples are not truncated.
     sim.run(until=total + env.drain_s)
+    events_processed = sim.events_processed
+    if engine == "vector":
+        # Fold the final partial telemetry chunk (post-run readers) and
+        # count the tail hops the engine ran inline instead of popping.
+        dispatcher.finalize()
+        events_processed += dispatcher.inlined_hops
 
     measured = [
         r for r in records
@@ -285,7 +314,7 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
         duration_s=duration_s, records=measured,
         controller_weights=weights,
         fault_log=list(injector.log) if injector else [],
-        tracer=tracer, events_processed=sim.events_processed)
+        tracer=tracer, events_processed=events_processed)
 
 
 def run_callgraph_benchmark(build_application, app_name: str,

@@ -15,7 +15,11 @@ import argparse
 import sys
 
 from repro.balancers.factory import BALANCER_NAMES
-from repro.bench.coordinator import run_hotel_benchmark, run_scenario_benchmark
+from repro.bench.coordinator import (
+    ENGINE_NAMES,
+    run_hotel_benchmark,
+    run_scenario_benchmark,
+)
 from repro.live.harness import LIVE_ALGORITHMS
 from repro.tournament.grid import TOURNAMENT_SCENARIO_NAMES
 from repro.tracing import TRACE_FORMATS
@@ -71,12 +75,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--outlier-ejection", action="store_true",
                      help="enable the consecutive-failure circuit "
                           "breaker (off by default, as in the paper)")
-    run.add_argument("--engine", choices=("fast", "process"),
+    run.add_argument("--engine", choices=ENGINE_NAMES,
                      default="fast",
                      help="request-lifecycle engine: 'fast' (pooled "
-                          "callbacks, default) or 'process' (one "
-                          "generator per request); both produce "
-                          "byte-identical results")
+                          "callbacks, default), 'vector' (numpy-chunked "
+                          "RNG + telemetry, needs the [fleet] extra) or "
+                          "'process' (one generator per request); all "
+                          "three produce byte-identical results")
 
     live = commands.add_parser(
         "live", help="run the live localhost testbed (real sockets, "

@@ -13,6 +13,16 @@ from repro.sim.rng import RngRegistry
 from repro.workloads.profiles import BackendProfile
 
 
+def _per_cluster(value: int | dict, cluster: str, what: str) -> int:
+    """Resolve a uniform-or-per-cluster deployment knob for ``cluster``."""
+    if not isinstance(value, dict):
+        return value
+    found = value.get(cluster)
+    if found is None:
+        raise MeshError(f"no {what} entry for cluster {cluster!r}")
+    return found
+
+
 class ServiceMesh:
     """The multi-cluster service mesh: topology plus deployed services.
 
@@ -50,15 +60,18 @@ class ServiceMesh:
 
     def deploy_service(self, service: str,
                        profiles: dict[str, BackendProfile],
-                       replicas: int = 3,
-                       replica_capacity: int = 64) -> ServiceDeployment:
+                       replicas: int | dict[str, int] = 3,
+                       replica_capacity: int | dict[str, int] = 64,
+                       ) -> ServiceDeployment:
         """Deploy ``service`` with one backend per cluster in ``profiles``.
 
         Args:
             service: logical service name.
             profiles: cluster name → that backend's behaviour profile.
-            replicas: replicas per backend (paper: 3 per cluster).
-            replica_capacity: concurrent requests per replica.
+            replicas: replicas per backend (paper: 3 per cluster), or a
+                per-cluster dict for heterogeneous fleets.
+            replica_capacity: concurrent requests per replica, or a
+                per-cluster dict.
         """
         if service in self._deployments:
             raise MeshError(f"service already deployed: {service}")
@@ -70,7 +83,9 @@ class ServiceMesh:
                 raise MeshError(f"unknown cluster: {cluster_name!r}")
             deployment.add_backend(Backend(
                 self.sim, service, cluster_name, profile, self.rng,
-                replicas=replicas, replica_capacity=replica_capacity))
+                replicas=_per_cluster(replicas, cluster_name, "replicas"),
+                replica_capacity=_per_cluster(
+                    replica_capacity, cluster_name, "replica_capacity")))
         self._deployments[service] = deployment
         return deployment
 

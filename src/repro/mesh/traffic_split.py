@@ -10,6 +10,7 @@ as a fixed propagation delay.
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right
 
 from repro.errors import ConfigError, MeshError
 from repro.sim.engine import Simulator
@@ -19,8 +20,8 @@ class TrafficSplit:
     """Weighted traffic distribution between a service's backends."""
 
     __slots__ = ("sim", "service", "propagation_delay_s", "_weights",
-                 "_total", "_generation", "_applied_generation",
-                 "update_count")
+                 "_total", "_names", "_cum", "_generation",
+                 "_applied_generation", "update_count")
 
     def __init__(self, sim: Simulator, service: str, backend_names,
                  propagation_delay_s: float = 0.5):
@@ -46,6 +47,7 @@ class TrafficSplit:
         # Cached sum of active weights: pick() runs once per request,
         # weights change a few times a minute.
         self._total = len(names)
+        self._rebuild_cumulative()
         self._generation = itertools.count(1)
         self._applied_generation = 0
         self.update_count = 0
@@ -68,6 +70,7 @@ class TrafficSplit:
             raise MeshError(f"invalid initial weight: {weight}")
         self._weights[name] = int(weight)
         self._total = sum(self._weights.values())
+        self._rebuild_cumulative()
 
     def remove_backend(self, name: str) -> None:
         """Remove a target service; the last backend cannot be removed."""
@@ -77,6 +80,7 @@ class TrafficSplit:
             raise MeshError("cannot remove the last backend")
         del self._weights[name]
         self._total = sum(self._weights.values())
+        self._rebuild_cumulative()
 
     def set_weights(self, weights: dict[str, int], now: float) -> None:
         """Write new weights; they activate after the propagation delay.
@@ -109,7 +113,24 @@ class TrafficSplit:
         self._applied_generation = generation
         self._weights.update(weights)
         self._total = sum(self._weights.values())
+        self._rebuild_cumulative()
         self.update_count += 1
+
+    def _rebuild_cumulative(self) -> None:
+        # pick() used to walk the weights dict linearly; at fleet scale
+        # (hundreds of backends) that scan dominated the hot path. The
+        # cumulative-sum table turns it into one bisect. Running floats
+        # over integer weights are exact (sums stay far below 2**53), so
+        # bisect_right(cum, threshold) lands on exactly the same backend
+        # the strict `threshold < running` scan returned — including
+        # zero-weight entries, which both schemes skip.
+        self._names = list(self._weights)
+        cum = []
+        running = 0.0
+        for weight in self._weights.values():
+            running += weight
+            cum.append(running)
+        self._cum = cum
 
     def pick(self, rng) -> str:
         """Pick a backend proportionally to the active weights."""
@@ -118,12 +139,13 @@ class TrafficSplit:
             # All-zero weights would blackhole traffic; fall back to uniform
             # (the SMI spec leaves this undefined; Linkerd errors requests,
             # but a benchmark must keep flowing to keep measuring).
-            names = list(self._weights)
-            return names[rng.randrange(len(names))]
+            return self._names[rng.randrange(len(self._names))]
         threshold = rng.random() * total
-        running = 0.0
-        for name, weight in self._weights.items():
-            running += weight
-            if threshold < running:
-                return name
-        return next(reversed(self._weights))
+        names = self._names
+        # threshold == total can occur when rng.random() is close enough
+        # to 1.0 that the product rounds up; the linear scan fell through
+        # to the last backend, so clamp the bisect the same way.
+        idx = bisect_right(self._cum, threshold)
+        if idx >= len(names):
+            idx = len(names) - 1
+        return names[idx]

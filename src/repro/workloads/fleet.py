@@ -1,0 +1,250 @@
+"""Fleet-scale scenario generation: hundreds of clusters from one seed.
+
+The paper's evaluation stops at three clusters; the fleet generator
+synthesises topologies of 100s of clusters / 1000s of replica endpoints
+with heterogeneous capacity, zipf-skewed per-cluster offered load, and a
+pairwise WAN latency matrix — all drawn from a single seeded RNG, so one
+``(spec, seed)`` pair is one deterministic fleet forever.
+
+The output is an ordinary :class:`~repro.workloads.scenarios.Scenario`
+(every balancer, fault spec, and figure runs on it unchanged) carrying an
+optional :class:`FleetTopology` that records what the three-cluster
+scenarios left implicit: per-cluster replica counts, per-replica
+capacities, the WAN link matrix, and the zipf load/capacity shares. The
+benchmark coordinator honours the topology when present; the sharded
+engine partitions clusters along it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.mesh.network import WanLink
+from repro.workloads.profiles import PiecewiseSeries
+from repro.workloads.scenarios import (
+    Scenario,
+    _bounded_walk,
+    _latency_profile,
+    _n_points,
+    _series,
+)
+
+# Stream of fleet seeds is namespaced away from the scenario seeds
+# (0xC1A551...) so a fleet never collides with a paper trace.
+_FLEET_SEED_SALT = 0xF1EE7
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """Per-cluster structure of a generated fleet.
+
+    Attributes:
+        replicas: cluster name → replica count (zipf-skewed capacity).
+        capacities: cluster name → per-replica concurrency capacity.
+        links: ``(src, dst)`` directed cluster pair → WAN link; generated
+            symmetrically, local pairs omitted (the mesh's local link
+            applies).
+        zipf_weight: cluster name → the zipf pmf value its capacity was
+            drawn from (what the chi-square property test checks against).
+        rps_share: cluster name → zipf-skewed share of the offered load
+            attributed to that cluster's user population (sums to 1.0).
+        client_cluster: the cluster the benchmark client lives in.
+    """
+
+    replicas: dict[str, int]
+    capacities: dict[str, int]
+    links: dict[tuple[str, str], WanLink]
+    zipf_weight: dict[str, float]
+    rps_share: dict[str, float]
+    client_cluster: str
+
+    def total_endpoints(self) -> int:
+        """Total replica endpoints across the fleet."""
+        return sum(self.replicas.values())
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Parameters of a generated fleet.
+
+    The defaults build the committed ``BENCH_fleet.json`` reference cell:
+    120 clusters, ≥1000 replica endpoints, heterogeneous capacity.
+    """
+
+    clusters: int = 120
+    duration_s: float = 600.0
+    total_rps: float = 3000.0
+    # Zipf exponent of the capacity / load skew (s > 0; s ≈ 1 is the
+    # classic web-traffic skew).
+    zipf_exponent: float = 0.9
+    # Every cluster gets at least min_replicas; the remaining replica
+    # budget (replica_budget_per_cluster × clusters) is dealt out by
+    # zipf-weighted sampling — hot clusters grow large, the tail stays
+    # small.
+    min_replicas: int = 2
+    replica_budget_per_cluster: int = 8
+    capacity_choices: tuple[int, ...] = (16, 32, 64, 128)
+    # One-way WAN base delay range between cluster pairs.
+    wan_delay_range_s: tuple[float, float] = (0.002, 0.080)
+    # Latency character of the per-cluster profiles (scenario-2-like:
+    # fast medians, occasionally spiky tails).
+    median_range_s: tuple[float, float] = (0.004, 0.060)
+    p99_ratio_range: tuple[float, float] = (2.0, 8.0)
+
+    def validate(self) -> None:
+        if self.clusters < 2:
+            raise ConfigError(
+                f"a fleet needs at least 2 clusters: {self.clusters}")
+        if self.duration_s <= 0:
+            raise ConfigError(
+                f"fleet duration must be positive: {self.duration_s}")
+        if self.total_rps <= 0:
+            raise ConfigError(
+                f"fleet total_rps must be positive: {self.total_rps}")
+        if self.zipf_exponent <= 0:
+            raise ConfigError(
+                f"zipf exponent must be positive: {self.zipf_exponent}")
+        if self.min_replicas < 1:
+            raise ConfigError(
+                f"min_replicas must be >= 1: {self.min_replicas}")
+        if self.replica_budget_per_cluster < 0:
+            raise ConfigError(
+                "replica budget must be >= 0: "
+                f"{self.replica_budget_per_cluster}")
+        if not self.capacity_choices:
+            raise ConfigError("capacity_choices must be non-empty")
+        lo, hi = self.wan_delay_range_s
+        if lo < 0 or hi < lo:
+            raise ConfigError(
+                f"invalid wan delay range: {self.wan_delay_range_s}")
+
+
+def _cluster_names(count: int) -> list[str]:
+    return [f"cluster-{i}" for i in range(1, count + 1)]
+
+
+def _zipf_pmf(rng: random.Random, names: list[str],
+              exponent: float) -> dict[str, float]:
+    """Zipf pmf over ``names`` with ranks assigned by a seeded shuffle.
+
+    Ranks are shuffled rather than following name order so "cluster-1"
+    (where the client lives) is not systematically the hottest cluster.
+    """
+    ranks = list(range(1, len(names) + 1))
+    rng.shuffle(ranks)
+    raw = {name: 1.0 / (rank ** exponent)
+           for name, rank in zip(names, ranks)}
+    total = sum(raw.values())
+    return {name: weight / total for name, weight in raw.items()}
+
+
+def _deal_zipf_counts(rng: random.Random, pmf: dict[str, float],
+                      draws: int) -> dict[str, int]:
+    """Deal ``draws`` units to clusters by sampling the zipf pmf.
+
+    Sampling (rather than rounding expected values) is what gives the
+    chi-square property test a real multinomial to check.
+    """
+    names = list(pmf)
+    cum = []
+    running = 0.0
+    for name in names:
+        running += pmf[name]
+        cum.append(running)
+    counts = dict.fromkeys(names, 0)
+    for _ in range(draws):
+        u = rng.random() * running
+        lo, hi = 0, len(cum) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if u < cum[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        counts[names[lo]] += 1
+    return counts
+
+
+def build_fleet_scenario(spec: FleetSpec | None = None, *,
+                         seed: int = 1) -> Scenario:
+    """Generate one deterministic fleet-scale :class:`Scenario`.
+
+    The same ``(spec, seed)`` always yields a byte-identical scenario
+    (the property tests pickle two builds and compare). The returned
+    scenario carries a :class:`FleetTopology`; the benchmark coordinator
+    deploys per-cluster replica counts, capacities, and WAN links from it
+    instead of the uniform three-cluster defaults.
+    """
+    if spec is None:
+        spec = FleetSpec()
+    spec.validate()
+    rng = random.Random((_FLEET_SEED_SALT << 32) ^ seed)
+    names = _cluster_names(spec.clusters)
+
+    # --- capacity: zipf-dealt replica counts + heterogeneous slots ----- #
+    zipf_weight = _zipf_pmf(rng, names, spec.zipf_exponent)
+    budget = spec.replica_budget_per_cluster * spec.clusters
+    dealt = _deal_zipf_counts(rng, zipf_weight, budget)
+    replicas = {name: spec.min_replicas + dealt[name] for name in names}
+    capacities = {name: rng.choice(spec.capacity_choices) for name in names}
+
+    # --- offered load: zipf shares over a gently walking total --------- #
+    rps_share = _zipf_pmf(rng, names, spec.zipf_exponent)
+    walk = _bounded_walk(rng, 0.85 * spec.total_rps, 1.15 * spec.total_rps,
+                         _n_points(spec.duration_s), smoothness=0.2)
+    rps = _series(walk, period_s=spec.duration_s)
+
+    # --- WAN latency matrix -------------------------------------------- #
+    links: dict[tuple[str, str], WanLink] = {}
+    lo, hi = spec.wan_delay_range_s
+    for i, src in enumerate(names):
+        for dst in names[i + 1:]:
+            link = WanLink(base_delay_s=rng.uniform(lo, hi))
+            links[(src, dst)] = link
+            links[(dst, src)] = link
+
+    # --- per-cluster service behaviour --------------------------------- #
+    profiles = {}
+    for name in names:
+        profiles[name] = _latency_profile(
+            rng,
+            median_range=spec.median_range_s,
+            p99_ratio_range=spec.p99_ratio_range,
+            p99_spike=(0.02, 3.0, 10.0),
+            duration_s=spec.duration_s)
+
+    topology = FleetTopology(
+        replicas=replicas,
+        capacities=capacities,
+        links=links,
+        zipf_weight=zipf_weight,
+        rps_share=rps_share,
+        client_cluster=names[0],
+    )
+    return Scenario(
+        name=f"fleet-{spec.clusters}x{topology.total_endpoints()}-s{seed}",
+        duration_s=spec.duration_s,
+        cluster_profiles=profiles,
+        rps=rps,
+        description=(
+            f"generated fleet: {spec.clusters} clusters, "
+            f"{topology.total_endpoints()} replica endpoints, "
+            f"zipf(s={spec.zipf_exponent}) capacity/load skew"),
+        topology=topology,
+    )
+
+
+def fleet_rps_series(scenario: Scenario, cluster: str) -> PiecewiseSeries:
+    """The offered-load series attributed to one cluster's users."""
+    topology = scenario.topology
+    if topology is None:
+        raise ConfigError(f"scenario {scenario.name!r} has no topology")
+    share = topology.rps_share.get(cluster)
+    if share is None:
+        raise ConfigError(f"unknown cluster {cluster!r}")
+    points = scenario.rps.points()
+    return PiecewiseSeries(
+        ((t, v * share) for t, v in points),
+        period_s=scenario.rps.period_s)

@@ -121,8 +121,8 @@ class _FastArrivals:
     CHUNK = 1024
 
     __slots__ = ("loadgen", "sim", "dispatcher", "duration_s", "deadline",
-                 "_sched", "_gaps", "_index", "_trajectory_t", "_exhausted",
-                 "_boot_cb", "_tick_cb")
+                 "_sched", "_gap_of", "_gaps", "_index", "_trajectory_t",
+                 "_exhausted", "_boot_cb", "_tick_cb")
 
     def __init__(self, loadgen, sim, dispatcher, duration_s: float):
         self.loadgen = loadgen
@@ -131,6 +131,12 @@ class _FastArrivals:
         self.duration_s = duration_s
         self.deadline = 0.0
         self._sched = dispatcher.fast.pool.schedule
+        # A vector engine may supply a batched gap sampler (numpy block
+        # draws, bit-identical to the scalar stream); everything else
+        # uses the loadgen's scalar _gap.
+        maker = getattr(dispatcher, "make_gap_sampler", None)
+        gap_of = maker(loadgen) if maker is not None else None
+        self._gap_of = loadgen._gap if gap_of is None else gap_of
         self._gaps: list = []
         self._index = 0
         self._trajectory_t = 0.0
@@ -147,7 +153,7 @@ class _FastArrivals:
         self._schedule_next()
 
     def _refill(self) -> None:
-        gap_of = self.loadgen._gap
+        gap_of = self._gap_of
         t = self._trajectory_t
         deadline = self.deadline
         gaps = self._gaps

@@ -70,6 +70,11 @@ class Scenario:
             scenarios carry none (their failures live in the profiles'
             success-rate traces); custom resilience scenarios attach real
             faults here.
+        topology: optional :class:`~repro.workloads.fleet.FleetTopology`
+            describing per-cluster replica counts, capacities, and WAN
+            links. ``None`` (the paper scenarios) means the coordinator's
+            uniform defaults apply. Typed loosely to keep this module free
+            of a fleet import.
     """
 
     name: str
@@ -78,6 +83,7 @@ class Scenario:
     rps: PiecewiseSeries
     description: str = ""
     faults: list = field(default_factory=list)
+    topology: object | None = None
 
     def clusters(self) -> list[str]:
         return sorted(self.cluster_profiles)

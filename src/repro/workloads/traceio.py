@@ -9,6 +9,7 @@ path documented in DESIGN.md).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
 
@@ -40,9 +41,46 @@ def _series_from_dict(data: dict) -> PiecewiseSeries:
     return PiecewiseSeries(zip(times, values), period_s=data.get("period_s"))
 
 
+def _topology_to_dict(topology) -> dict:
+    return {
+        "replicas": dict(topology.replicas),
+        "capacities": dict(topology.capacities),
+        "client_cluster": topology.client_cluster,
+        "zipf_weight": dict(topology.zipf_weight),
+        "rps_share": dict(topology.rps_share),
+        # JSON keys must be strings; encode the directed pair as "src dst"
+        # (cluster names cannot contain spaces in this codebase).
+        "links": {f"{src} {dst}": dataclasses.asdict(link)
+                  for (src, dst), link in topology.links.items()},
+    }
+
+
+def _topology_from_dict(data: dict):
+    # Imported here: fleet.py imports scenarios.py, and this module is
+    # the only traceio→fleet edge, so a module-level import would be a
+    # needless import-order hazard.
+    from repro.mesh.network import WanLink
+    from repro.workloads.fleet import FleetTopology
+
+    links = {}
+    for pair, link_data in data["links"].items():
+        src, _, dst = pair.partition(" ")
+        if not dst:
+            raise ConfigError(f"malformed link pair: {pair!r}")
+        links[(src, dst)] = WanLink(**link_data)
+    return FleetTopology(
+        replicas={k: int(v) for k, v in data["replicas"].items()},
+        capacities={k: int(v) for k, v in data["capacities"].items()},
+        links=links,
+        zipf_weight=dict(data["zipf_weight"]),
+        rps_share=dict(data["rps_share"]),
+        client_cluster=data["client_cluster"],
+    )
+
+
 def scenario_to_dict(scenario: Scenario) -> dict:
     """Serialise a scenario to a JSON-compatible dict."""
-    return {
+    doc = {
         "format_version": FORMAT_VERSION,
         "name": scenario.name,
         "duration_s": scenario.duration_s,
@@ -59,6 +97,9 @@ def scenario_to_dict(scenario: Scenario) -> dict:
             for cluster, profile in scenario.cluster_profiles.items()
         },
     }
+    if scenario.topology is not None:
+        doc["topology"] = _topology_to_dict(scenario.topology)
+    return doc
 
 
 def scenario_from_dict(data: dict) -> Scenario:
@@ -80,12 +121,15 @@ def scenario_from_dict(data: dict) -> Scenario:
             failure_prob=_series_from_dict(profile_data["failure_prob"]),
             failure_latency_s=profile_data.get("failure_latency_s", 0.05),
         )
+    topology_data = data.get("topology")
     return Scenario(
         name=data["name"],
         duration_s=float(data["duration_s"]),
         cluster_profiles=profiles,
         rps=_series_from_dict(data["rps"]),
         description=data.get("description", ""),
+        topology=(None if topology_data is None
+                  else _topology_from_dict(topology_data)),
     )
 
 

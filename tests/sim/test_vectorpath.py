@@ -1,0 +1,238 @@
+"""The numpy substrate of the vector engine, checked against CPython.
+
+Every bank in :mod:`repro.sim.vectorpath` claims *bit-identity* with the
+scalar code it replaces — not statistical agreement, exact float
+equality over the shared MT19937 stream. These tests draw the same
+streams both ways and compare with ``==``.
+
+numpy itself is the optional ``[fleet]`` extra; when it is absent the
+whole module is expected to fail fast with a ConfigError that names the
+extra, and that path is tested here too (by blanking the module's
+cached import, so the test runs on hosts *with* numpy as well).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import vectorpath
+from repro.sim.rng import NV_MAGICCONST
+from repro.sim.vectorpath import (
+    BufferedTelemetry,
+    UniformBank,
+    ZQueue,
+    bankable_profile,
+    numpy_bit_identical,
+    sync_back,
+    transplant_state,
+    zqueue_service_time,
+)
+from repro.telemetry.metrics import BackendTelemetry
+from repro.workloads.profiles import BackendProfile, PiecewiseSeries
+
+# The bit-identity tests need numpy; TestNoNumpy below runs either way
+# (on numpy hosts it blanks the cached import to simulate absence).
+requires_numpy = pytest.mark.skipif(
+    vectorpath._np is None, reason="numpy not installed ([fleet] extra)")
+
+
+def _scalar_z(rng: random.Random) -> float:
+    """The inlined Kinderman–Monahan loop, verbatim from BackendProfile."""
+    while True:
+        u1 = rng.random()
+        u2 = 1.0 - rng.random()
+        z = NV_MAGICCONST * (u1 - 0.5) / u2
+        if z * z / 4.0 <= -math.log(u2):
+            return z
+
+
+def _profile(median=0.01, p99=0.05, failure=0.0) -> BackendProfile:
+    return BackendProfile(
+        median_latency_s=PiecewiseSeries([(0.0, median)]),
+        p99_latency_s=PiecewiseSeries([(0.0, p99)]),
+        failure_prob=PiecewiseSeries([(0.0, failure)]),
+    )
+
+
+@requires_numpy
+class TestTransplant:
+    def test_probe_passes_on_this_host(self):
+        # The CI image's numpy must reproduce CPython uniforms exactly;
+        # if this fails, every vector-engine equivalence test is void.
+        assert numpy_bit_identical()
+
+    def test_round_trip_continuity(self):
+        reference = random.Random(99)
+        twin = random.Random(99)
+        state = transplant_state(twin)
+        block = state.random_sample(1000).tolist()
+        sync_back(twin, state)
+        assert block == [reference.random() for _ in range(1000)]
+        # The written-back state continues the stream seamlessly.
+        assert [twin.random() for _ in range(10)] == \
+            [reference.random() for _ in range(10)]
+
+
+@requires_numpy
+class TestUniformBank:
+    def test_matches_serial_draws(self):
+        reference = random.Random(7)
+        bank = UniformBank(random.Random(7), block=64)
+        assert [bank.next() for _ in range(500)] == \
+            [reference.random() for _ in range(500)]
+
+    def test_returns_plain_floats(self):
+        bank = UniformBank(random.Random(1), block=8)
+        assert type(bank.next()) is float
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ConfigError):
+            UniformBank(random.Random(1), block=0)
+
+
+@requires_numpy
+class TestZQueue:
+    @pytest.mark.parametrize("warmup", [0, 7, 512])
+    def test_matches_scalar_rejection_loop(self, warmup):
+        """Identical z sequence across the cold->banked boundary and
+        across several adaptive block refills."""
+        reference = random.Random(1234)
+        zq = ZQueue(random.Random(1234), block=16, max_block=64,
+                    warmup=warmup)
+        banked = [zq.pop() for _ in range(800)]
+        scalar = [_scalar_z(reference) for _ in range(800)]
+        assert banked == scalar
+
+    def test_release_syncs_stream_position(self):
+        reference = random.Random(5)
+        rng = random.Random(5)
+        zq = ZQueue(rng, block=16, warmup=0)
+        for _ in range(10):
+            zq.pop()
+        zq.release()
+        # The Python rng now reflects every uniform the queue consumed —
+        # whole blocks, including pre-drawn candidates not yet popped.
+        # Advancing a twin one uniform at a time must land exactly on the
+        # written-back state after a whole number of blocks (>= 16).
+        consumed = 0
+        while reference.getstate() != rng.getstate():
+            reference.random()
+            consumed += 1
+            assert consumed < 10_000, "streams never re-converged"
+        assert consumed >= 16 and consumed % 2 == 0
+
+    def test_rejects_odd_block(self):
+        with pytest.raises(ConfigError):
+            ZQueue(random.Random(1), block=15)
+
+    def test_service_time_matches_profile(self):
+        profile = _profile()
+        reference = random.Random(42)
+        zq = ZQueue(random.Random(42), block=16, warmup=4)
+        for now in (0.0, 1.5, 3.0, 97.25):
+            for _ in range(50):
+                assert zqueue_service_time(profile, zq, now) == \
+                    profile.sample_service_time(reference, now)
+
+    def test_degenerate_p99_skips_the_stream(self):
+        # p99 <= median returns the median without popping; the stream
+        # must stay aligned with the scalar twin that also skips.
+        profile = _profile(median=0.02, p99=0.01)
+        live = _profile()
+        reference = random.Random(8)
+        zq = ZQueue(random.Random(8), block=16, warmup=2)
+        for _ in range(20):
+            assert zqueue_service_time(profile, zq, 0.0) == 0.02
+            assert zqueue_service_time(live, zq, 0.0) == \
+                live.sample_service_time(reference, 0.0)
+
+
+@requires_numpy
+class TestBankable:
+    def test_constant_zero_failure_is_bankable(self):
+        assert bankable_profile(_profile(failure=0.0))
+
+    def test_failure_prob_disqualifies(self):
+        assert not bankable_profile(_profile(failure=0.1))
+        varying = BackendProfile(
+            median_latency_s=PiecewiseSeries([(0.0, 0.01)]),
+            p99_latency_s=PiecewiseSeries([(0.0, 0.05)]),
+            failure_prob=PiecewiseSeries([(0.0, 0.0), (10.0, 0.2)]),
+        )
+        assert not bankable_profile(varying)
+
+
+@requires_numpy
+class TestBufferedTelemetry:
+    def test_flush_is_indistinguishable_from_per_event_updates(self):
+        scalar = BackendTelemetry("svc/cluster-1")
+        buffered = BufferedTelemetry(BackendTelemetry("svc/cluster-1"))
+        rng = random.Random(3)
+        events = [(rng.expovariate(20.0), rng.random() < 0.9)
+                  for _ in range(500)]
+        for latency, success in events:
+            scalar.on_request_sent()
+            scalar.on_response(latency, success)
+            buffered.on_request_sent()
+            buffered.on_response(latency, success)
+        buffered.flush()
+        base = buffered.base
+        assert base.requests_total.value == scalar.requests_total.value
+        assert base.failures_total.value == scalar.failures_total.value
+        assert base.inflight.value == scalar.inflight.value
+        for name in ("success_latency", "failure_latency"):
+            folded = getattr(base, name)
+            direct = getattr(scalar, name)
+            assert folded.cumulative_counts() == direct.cumulative_counts()
+            assert folded.count == direct.count
+            # Sums are re-added sequentially in arrival order: bit-equal.
+            assert folded.sum == direct.sum
+
+    def test_flush_rejects_invalid_latency(self):
+        from repro.errors import TelemetryError
+
+        buffered = BufferedTelemetry(BackendTelemetry("svc/cluster-1"))
+        buffered.on_request_sent()
+        buffered.on_response(-1.0, True)
+        with pytest.raises(TelemetryError):
+            buffered.flush()
+
+    def test_empty_flush_is_a_noop(self):
+        buffered = BufferedTelemetry(BackendTelemetry("svc/cluster-1"))
+        buffered.flush()
+        assert buffered.base.requests_total.value == 0.0
+
+
+class TestNoNumpy:
+    """The [fleet] extra is optional: without numpy every vector entry
+    point must raise a ConfigError naming the extra, not ImportError."""
+
+    @pytest.fixture
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr(vectorpath, "_np", None)
+        monkeypatch.setattr(vectorpath, "_probe_result", None)
+
+    def test_require_numpy_names_the_extra(self, no_numpy):
+        with pytest.raises(ConfigError, match=r"\[fleet\]"):
+            vectorpath.require_numpy()
+
+    def test_vector_engine_refuses(self, no_numpy):
+        from repro.bench.coordinator import run_scenario_benchmark
+
+        with pytest.raises(ConfigError, match=r"\[fleet\]"):
+            run_scenario_benchmark("scenario-1", "l3", duration_s=5.0,
+                                   engine="vector")
+
+    def test_shard_engine_refuses(self, no_numpy):
+        from repro.sim.shard import run_sharded_benchmark
+        from repro.workloads.fleet import FleetSpec, build_fleet_scenario
+
+        scenario = build_fleet_scenario(
+            FleetSpec(clusters=3, duration_s=30.0, total_rps=30.0,
+                      replica_budget_per_cluster=1), seed=1)
+        with pytest.raises(ConfigError, match=r"\[fleet\]"):
+            run_sharded_benchmark(scenario, "l3", duration_s=10.0)

@@ -1,0 +1,144 @@
+"""Property tests for the fleet-scale scenario generator.
+
+Three claims from the module docstring are checked: one ``(spec, seed)``
+pair is one deterministic fleet forever (pickle byte-identity of two
+independent builds); the replica deal really is zipf-skewed (a
+chi-square test of the dealt counts against the generating pmf); and
+the generated scenario is a first-class topology — the fault-spec
+grammar validates cluster names against it exactly as it does for the
+paper's three-cluster scenarios.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+
+from repro.bench.coordinator import SCENARIO_SERVICE
+from repro.errors import ConfigError
+from repro.faults.spec import FaultSpecError, parse_fault_spec
+from repro.workloads.fleet import (
+    FleetSpec,
+    build_fleet_scenario,
+    fleet_rps_series,
+)
+
+_SPEC = FleetSpec()  # the BENCH_fleet.json reference spec
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return build_fleet_scenario(_SPEC, seed=1)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_same_seed_same_bytes(self, seed):
+        spec = FleetSpec(clusters=40, duration_s=120.0)
+        first = pickle.dumps(build_fleet_scenario(spec, seed=seed))
+        second = pickle.dumps(build_fleet_scenario(spec, seed=seed))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        spec = FleetSpec(clusters=40, duration_s=120.0)
+        assert pickle.dumps(build_fleet_scenario(spec, seed=1)) != \
+            pickle.dumps(build_fleet_scenario(spec, seed=2))
+
+    def test_topology_shape(self, fleet):
+        topology = fleet.topology
+        assert len(topology.replicas) == _SPEC.clusters
+        assert topology.total_endpoints() >= 1000
+        assert all(n >= _SPEC.min_replicas
+                   for n in topology.replicas.values())
+        assert set(topology.capacities.values()) <= \
+            set(_SPEC.capacity_choices)
+        # The WAN matrix is symmetric and skips local pairs.
+        for (src, dst), link in topology.links.items():
+            assert src != dst
+            assert topology.links[(dst, src)] is link
+        assert math.isclose(sum(topology.rps_share.values()), 1.0)
+        assert topology.client_cluster == "cluster-1"
+
+
+def _chi_square_critical(df: int, z: float = 3.09) -> float:
+    """Wilson–Hilferty upper-tail critical value (z=3.09 ~ p=0.001)."""
+    term = 2.0 / (9.0 * df)
+    return df * (1.0 - term + z * math.sqrt(term)) ** 3
+
+
+class TestZipfSkew:
+    def test_replica_deal_matches_the_pmf(self, fleet):
+        """Chi-square of the dealt replica counts against the zipf pmf
+        they were sampled from; buckets with expected < 5 are merged
+        (the standard validity condition for the chi-square test)."""
+        topology = fleet.topology
+        draws = _SPEC.replica_budget_per_cluster * _SPEC.clusters
+        cells = []  # (observed, expected), merged tail
+        tail_obs, tail_exp = 0.0, 0.0
+        for name, weight in sorted(topology.zipf_weight.items(),
+                                   key=lambda kv: -kv[1]):
+            observed = topology.replicas[name] - _SPEC.min_replicas
+            expected = draws * weight
+            if expected >= 5.0:
+                cells.append((float(observed), expected))
+            else:
+                tail_obs += observed
+                tail_exp += expected
+        if tail_exp > 0.0:
+            cells.append((tail_obs, tail_exp))
+        assert len(cells) >= 10, "spec too small for a meaningful test"
+        stat = sum((obs - exp) ** 2 / exp for obs, exp in cells)
+        critical = _chi_square_critical(len(cells) - 1)
+        assert stat < critical, (
+            f"zipf deal failed chi-square: {stat:.1f} >= {critical:.1f}")
+
+    def test_load_follows_its_own_zipf(self, fleet):
+        """The hottest cluster by rps_share gets the biggest share and
+        every cluster's series is the total scaled by its share."""
+        topology = fleet.topology
+        hottest = max(topology.rps_share, key=topology.rps_share.get)
+        series = fleet_rps_series(fleet, hottest)
+        share = topology.rps_share[hottest]
+        for t in (0.0, 100.0, 299.5):
+            assert series.value_at(t) == \
+                pytest.approx(fleet.rps.value_at(t) * share)
+        with pytest.raises(ConfigError, match="unknown cluster"):
+            fleet_rps_series(fleet, "cluster-999")
+
+
+class TestFaultSpecIntegration:
+    """A generated fleet is a real topology: the fault grammar's name
+    validation works against it out of the box."""
+
+    def test_valid_spec_parses_against_the_fleet(self, fleet):
+        faults = parse_fault_spec(
+            "cluster-outage@30+30:cluster=cluster-57:mode=blackhole ; "
+            "link-partition@90+15:src=cluster-1:dst=cluster-12",
+            clusters=set(fleet.clusters()),
+            services={SCENARIO_SERVICE})
+        assert len(faults) == 2
+
+    def test_unknown_cluster_is_rejected(self, fleet):
+        with pytest.raises(FaultSpecError, match="unknown cluster"):
+            parse_fault_spec(
+                "cluster-outage@30+30:cluster=cluster-121:mode=blackhole",
+                clusters=set(fleet.clusters()),
+                services={SCENARIO_SERVICE})
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"clusters": 1},
+        {"duration_s": 0.0},
+        {"total_rps": -1.0},
+        {"zipf_exponent": 0.0},
+        {"min_replicas": 0},
+        {"replica_budget_per_cluster": -1},
+        {"capacity_choices": ()},
+        {"wan_delay_range_s": (0.05, 0.01)},
+    ])
+    def test_bad_specs_raise(self, kwargs):
+        with pytest.raises(ConfigError):
+            build_fleet_scenario(FleetSpec(**kwargs), seed=1)
