@@ -11,7 +11,9 @@ synthetic equivalents of the paper's trace scenarios plus the
 DeathStarBench hotel-reservation call graph (:mod:`repro.workloads`), and
 the benchmark harness regenerating every figure (:mod:`repro.bench`), and
 a live localhost testbed that runs the same controller stack against a
-real networked mesh over asyncio sockets (:mod:`repro.live`).
+real networked mesh over asyncio sockets (:mod:`repro.live`), and
+telemetry-driven per-cluster autoscaling co-simulated with the weight
+controllers (:mod:`repro.autoscale`).
 
 Quickstart::
 
@@ -22,6 +24,7 @@ Quickstart::
     print(result.p99_ms, result.success_rate)
 """
 
+from repro.autoscale import AutoscalePolicy, parse_autoscale_spec
 from repro.bench.coordinator import (
     BenchmarkResult,
     ScenarioBenchConfig,
@@ -70,6 +73,7 @@ from repro.workloads.traceio import load_scenario, save_scenario
 __version__ = "1.0.0"
 
 __all__ = [
+    "AutoscalePolicy",
     "BALANCER_NAMES",
     "BackendSnapshot",
     "BenchmarkResult",
@@ -107,6 +111,7 @@ __all__ = [
     "half_life_to_beta",
     "load_scenario",
     "make_balancer",
+    "parse_autoscale_spec",
     "parse_fault_spec",
     "relative_change",
     "run_callgraph_benchmark",

@@ -1,0 +1,119 @@
+"""Simulator wiring: run per-backend autoscalers inside a benchmark.
+
+:class:`SimAutoscaleSet` builds one
+:class:`~repro.autoscale.controller.BackendAutoscaler` per covered
+cluster of a scenario deployment, exposes the ``replica_count`` gauge
+and ``autoscale_events`` counter to the scraper under each backend's
+``server|<backend>`` series (the same single-source names the live
+``/metrics`` pages use — :mod:`repro.telemetry.names`), and spawns one
+generator process per scaler so every control loop ticks at its policy's
+own interval, concurrently with the weight controller's reconcile loop.
+
+Strictly opt-in: a benchmark without autoscaling constructs none of
+this — no processes, no RNG draws, no gauges — so the golden digest of
+autoscale-off runs is byte-identical to pre-autoscale builds.
+"""
+
+from __future__ import annotations
+
+from repro.autoscale.controller import BackendAutoscaler
+from repro.autoscale.policy import AutoscalePolicy
+from repro.autoscale.targets import SimBackendTarget
+from repro.errors import Interrupted
+from repro.telemetry import names as metric_names
+
+
+class SimAutoscaleSet:
+    """Every autoscaler of one simulated benchmark run.
+
+    Attributes:
+        scalers: ``{cluster: BackendAutoscaler}`` in sorted order.
+        weight_samples: ``(time, {backend: weight})`` snapshots of the
+            weight controller's TrafficSplit, taken at every scaler tick
+            when a controller was attached — the raw series of the
+            control-loop interaction study (weight flaps vs. replica
+            flaps on the same signal).
+    """
+
+    def __init__(self, deployment, policies: dict[str, AutoscalePolicy],
+                 source, scraper, *, controller=None, now: float = 0.0):
+        """Args:
+            deployment: the scenario's
+                :class:`~repro.mesh.service.ServiceDeployment`.
+            policies: ``{cluster: AutoscalePolicy}`` (clusters absent
+                from the mapping keep fixed replica sets).
+            source: :class:`~repro.telemetry.query.PromMetricsSource`
+                over the run's store.
+            scraper: the run's scraper; replica-count gauges and event
+                counters are registered per scaled backend.
+            controller: optional weight controller whose ``last_weights``
+                are sampled at scaler ticks.
+            now: cost-accounting start time.
+        """
+        self.scalers: dict[str, BackendAutoscaler] = {}
+        self.controller = controller
+        self.weight_samples: list[tuple[float, dict]] = []
+        self._procs: list = []
+        for cluster in sorted(policies):
+            policy = policies[cluster]
+            backend = deployment.backend_in(cluster)
+            target = SimBackendTarget(
+                backend, warmup_s=policy.warmup_s,
+                cold_start_factor=policy.cold_start_factor)
+            scaler = BackendAutoscaler(
+                backend.name, target, policy, source, now=now)
+            self.scalers[cluster] = scaler
+            series = metric_names.server_series_name(backend.name)
+            scraper.register_gauge(
+                series, metric_names.REPLICA_COUNT,
+                lambda t=target: t.replica_count)
+            scraper.register_gauge(
+                series, metric_names.AUTOSCALE_EVENTS,
+                lambda s=scaler: s.events_total)
+
+    def start(self, sim) -> None:
+        """Spawn one control-loop process per scaler."""
+        for cluster, scaler in self.scalers.items():
+            self._procs.append(sim.spawn(
+                self._loop(sim, scaler), name=f"autoscaler/{cluster}"))
+
+    def stop(self, now: float) -> None:
+        """Interrupt every loop and close the cost integrals."""
+        for proc in self._procs:
+            proc.interrupt()
+        self._procs = []
+        for scaler in self.scalers.values():
+            scaler.finalize(now)
+
+    def _loop(self, sim, scaler: BackendAutoscaler):
+        try:
+            while True:
+                yield sim.timeout(scaler.policy.interval_s)
+                scaler.step(sim.now)
+                if self.controller is not None:
+                    self.weight_samples.append(
+                        (sim.now, dict(self.controller.last_weights)))
+        except Interrupted:
+            return
+
+    # ------------------------------------------------- result readers -- #
+
+    def event_log(self) -> list[tuple[float, str, int, int]]:
+        """Merged ``(time, backend, delta, replicas_after)`` log."""
+        merged = [
+            (when, scaler.backend_name, delta, after)
+            for scaler in self.scalers.values()
+            for when, delta, after in scaler.events
+        ]
+        merged.sort(key=lambda item: (item[0], item[1]))
+        return merged
+
+    def replica_seconds(self) -> dict[str, float]:
+        """Per-backend cost integrals."""
+        return {scaler.backend_name: scaler.replica_seconds
+                for scaler in self.scalers.values()}
+
+    def final_replicas(self) -> dict[str, int]:
+        """Per-backend replica counts at the end of the run."""
+        return {scaler.backend_name: scaler.replica_count
+                for scaler in self.scalers.values()}

@@ -1,0 +1,91 @@
+"""Live-substrate autoscaling: wall-clock stepper + capacity target.
+
+The live testbed models one cluster's whole deployment as a single
+:class:`~repro.live.server.ReplicaServer` whose ``capacity`` semaphore
+is the replica set's total concurrency. Scaling live therefore means
+resizing that semaphore in replica-sized quanta:
+:class:`LiveCapacityTarget` adapts the server to the autoscaler core's
+target protocol (``replica_count`` = capacity units of
+``capacity_per_replica`` slots each), and :class:`LiveAutoscaler` ticks
+the shared clock-agnostic
+:class:`~repro.autoscale.controller.BackendAutoscaler` from the harness
+loop, mirroring the cadence pattern of
+:class:`~repro.live.control.LiveControlLoop` — which also makes the
+whole stack drivable by a :class:`~repro.live.clock.FakeClock` in unit
+tests, with zero real sleeps.
+
+The live substrate has no service-time dial, so cold-start warmup is a
+no-op here (documented divergence from the simulated target: a live
+"replica" is extra semaphore permits, instantly warm).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class LiveCapacityTarget:
+    """Scales a :class:`~repro.live.server.ReplicaServer` in quanta.
+
+    ``add_replica`` grows the server's concurrency by one unit of
+    ``unit_capacity`` slots (effective immediately — the provisioning
+    lag is modelled by the controller's pending pipeline, exactly as in
+    the simulator); ``remove_replica`` shrinks it, with the retired
+    slots drained lazily as in-flight requests finish.
+    """
+
+    def __init__(self, server, unit_capacity: int):
+        if unit_capacity < 1:
+            raise ConfigError(
+                f"unit capacity must be >= 1: {unit_capacity}")
+        if server.capacity % unit_capacity:
+            raise ConfigError(
+                f"server capacity {server.capacity} is not a multiple of "
+                f"the replica unit {unit_capacity}")
+        self.server = server
+        self.unit_capacity = unit_capacity
+        server.replica_units = server.capacity // unit_capacity
+
+    @property
+    def replica_count(self) -> int:
+        return self.server.capacity // self.unit_capacity
+
+    @property
+    def capacity_per_replica(self) -> int:
+        return self.unit_capacity
+
+    def add_replica(self, now: float) -> None:
+        del now
+        self.server.set_capacity(self.server.capacity + self.unit_capacity)
+        self.server.replica_units = self.replica_count
+
+    def remove_replica(self, now: float) -> None:
+        del now
+        self.server.set_capacity(self.server.capacity - self.unit_capacity)
+        self.server.replica_units = self.replica_count
+
+    def tick_warmup(self, now: float) -> None:
+        """No-op: live capacity units have no service-time dial."""
+        del now
+
+
+class LiveAutoscaler:
+    """Ticks one autoscaler core at its policy interval, live.
+
+    Same shape as :class:`~repro.live.control.LiveControlLoop`: the
+    harness (or a FakeClock test) calls :meth:`tick` as often as it
+    likes; the core's :meth:`~repro.autoscale.controller.
+    BackendAutoscaler.step` runs only when the interval has elapsed.
+    """
+
+    def __init__(self, scaler, *, start_time: float = 0.0):
+        self.scaler = scaler
+        self._next_due = start_time + scaler.policy.interval_s
+
+    def tick(self, now: float) -> bool:
+        """Step the scaler if due; returns whether a step ran."""
+        if now < self._next_due:
+            return False
+        self.scaler.step(now)
+        self._next_due = now + self.scaler.policy.interval_s
+        return True

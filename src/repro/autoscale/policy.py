@@ -1,0 +1,107 @@
+"""Autoscale policies: the HPA-style tunables of one backend's scaler.
+
+A policy says *what signal* to track (:data:`METRIC_NAMES`), *where the
+setpoint is*, and *how cautiously* to move: replica bounds, the control
+interval, the provisioning lag before a launched replica serves traffic,
+the cold-start warmup ramp, and the scale-up/scale-down stabilization
+windows that keep the scaler from flapping on a noisy signal.
+
+Validation happens at construction (``ConfigError``), so a bad policy —
+whether built in code, attached to a scenario, or parsed from the CLI's
+``--autoscale`` spec (:mod:`repro.autoscale.spec`) — fails before any
+simulation is wired up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+# Telemetry signals a policy can track:
+#   inflight — server-side queue occupancy (executing + queued) as a
+#       fraction of replica capacity; ``target`` is the desired
+#       utilization in (0, 1]. This is the signal the seed HPA used and
+#       the one Kubernetes' resource-utilization HPA approximates.
+#   rps — scraped request rate; ``target`` is the RPS one replica should
+#       carry (the HPA "pods metric" shape).
+#   p99 — windowed P99 latency; ``target`` is the latency setpoint in
+#       seconds, scaled proportionally (an SLO-driven scaler).
+METRIC_NAMES = ("inflight", "rps", "p99")
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Per-backend horizontal autoscaling tunables.
+
+    Attributes:
+        metric: tracked signal, one of :data:`METRIC_NAMES`.
+        target: setpoint — utilization in (0, 1] for ``inflight``,
+            per-replica RPS for ``rps``, seconds for ``p99``.
+        min_replicas / max_replicas: replica-count bounds.
+        interval_s: control-loop period.
+        provisioning_lag_s: time between the scale-up decision and the
+            new replica joining the endpoint set (pod scheduling + image
+            pull + boot).
+        warmup_s: cold-start ramp length — a freshly admitted replica
+            starts slow and reaches nominal service rate this long after
+            joining (0 disables the ramp).
+        cold_start_factor: service-*time* multiplier at the moment of
+            admission (2.0 = a cold replica is half speed), ramping
+            linearly down to 1.0 over ``warmup_s``.
+        scale_up_stabilization_s: scale up only to the *smallest* desired
+            count recommended over this window (0, the Kubernetes
+            default, reacts immediately).
+        scale_down_stabilization_s: scale down only to the *largest*
+            desired count recommended over this window — the HPA
+            stabilization window that rides out transient dips.
+        window_s: telemetry query window; ``None`` uses ``interval_s``.
+    """
+
+    metric: str = "inflight"
+    target: float = 0.5
+    min_replicas: int = 1
+    max_replicas: int = 10
+    interval_s: float = 15.0
+    provisioning_lag_s: float = 30.0
+    warmup_s: float = 0.0
+    cold_start_factor: float = 1.0
+    scale_up_stabilization_s: float = 0.0
+    scale_down_stabilization_s: float = 60.0
+    window_s: float | None = None
+
+    def __post_init__(self):
+        if self.metric not in METRIC_NAMES:
+            raise ConfigError(
+                f"autoscale metric must be one of {METRIC_NAMES}: "
+                f"{self.metric!r}")
+        if self.target <= 0:
+            raise ConfigError(
+                f"autoscale target must be positive: {self.target}")
+        if self.metric == "inflight" and self.target > 1.0:
+            raise ConfigError(
+                f"inflight target is a utilization in (0, 1]: {self.target}")
+        if self.min_replicas < 1 or self.max_replicas < self.min_replicas:
+            raise ConfigError(
+                f"invalid replica bounds: [{self.min_replicas}, "
+                f"{self.max_replicas}]")
+        if self.interval_s <= 0:
+            raise ConfigError(
+                f"autoscale interval must be positive: {self.interval_s}")
+        if self.provisioning_lag_s < 0 or self.warmup_s < 0:
+            raise ConfigError("autoscale delays must be >= 0")
+        if self.cold_start_factor < 1.0:
+            raise ConfigError(
+                f"cold-start factor must be >= 1 (a cold replica is not "
+                f"faster than a warm one): {self.cold_start_factor}")
+        if (self.scale_up_stabilization_s < 0
+                or self.scale_down_stabilization_s < 0):
+            raise ConfigError("stabilization windows must be >= 0")
+        if self.window_s is not None and self.window_s <= 0:
+            raise ConfigError(
+                f"telemetry window must be positive: {self.window_s}")
+
+    @property
+    def query_window_s(self) -> float:
+        """Effective telemetry window of the scaler's queries."""
+        return self.window_s if self.window_s is not None else self.interval_s

@@ -1,0 +1,205 @@
+"""Parse compact autoscale policy specs (the CLI's ``--autoscale`` flag).
+
+Grammar (whitespace around separators is ignored)::
+
+    spec  := entry (";" entry)*
+    entry := scope (":" key "=" value)*
+    scope := "*" | cluster name
+
+Keys map onto :class:`~repro.autoscale.policy.AutoscalePolicy` fields::
+
+    metric       inflight | rps | p99
+    target       setpoint (utilization / per-replica RPS / seconds)
+    min, max     replica bounds
+    interval     control-loop period, seconds
+    lag          provisioning lag, seconds
+    warmup       cold-start ramp length, seconds
+    cold         cold-start service-time factor (>= 1)
+    up-window    scale-up stabilization window, seconds
+    down-window  scale-down stabilization window, seconds
+    window       telemetry query window, seconds
+
+Examples::
+
+    *:target=0.5:max=8
+    *:target=0.5:max=8:lag=20 ; cluster-2:max=2
+    cluster-1:metric=rps:target=40:min=2:max=6
+
+A ``*`` entry applies to every cluster; a named entry overrides the
+wildcard's keys for that cluster (field-wise merge, like a Kubernetes
+patch). Every structural problem raises
+:class:`~repro.errors.AutoscaleSpecError` (a ``ConfigError``) **at parse
+time** — unknown keys or clusters, bad numbers, inconsistent bounds —
+mirroring the ``--faults`` grammar in :mod:`repro.faults.spec`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.autoscale.policy import METRIC_NAMES, AutoscalePolicy
+from repro.errors import AutoscaleSpecError, ConfigError
+
+# spec key -> AutoscalePolicy field
+_KEY_FIELDS = {
+    "metric": "metric",
+    "target": "target",
+    "min": "min_replicas",
+    "max": "max_replicas",
+    "interval": "interval_s",
+    "lag": "provisioning_lag_s",
+    "warmup": "warmup_s",
+    "cold": "cold_start_factor",
+    "up-window": "scale_up_stabilization_s",
+    "down-window": "scale_down_stabilization_s",
+    "window": "window_s",
+}
+
+AUTOSCALE_SPEC_KEYS = tuple(sorted(_KEY_FIELDS))
+
+_INT_FIELDS = ("min_replicas", "max_replicas")
+_STR_FIELDS = ("metric",)
+
+
+def _coerce(key: str, field: str, value: str):
+    if field in _STR_FIELDS:
+        if value not in METRIC_NAMES:
+            raise AutoscaleSpecError(
+                f"autoscale spec: metric must be one of {METRIC_NAMES}: "
+                f"{value!r}")
+        return value
+    try:
+        if field in _INT_FIELDS:
+            return int(value)
+        return float(value)
+    except ValueError:
+        raise AutoscaleSpecError(
+            f"autoscale spec: {key} needs a number, got {value!r}"
+        ) from None
+
+
+def _parse_entry(entry: str) -> tuple[str, dict]:
+    """One ``scope[:key=value...]`` entry -> (scope, field overrides)."""
+    parts = entry.split(":")
+    scope = parts[0].strip()
+    if not scope:
+        raise AutoscaleSpecError(
+            f"autoscale spec: entry needs a scope ('*' or a cluster "
+            f"name): {entry.strip()!r}")
+    overrides: dict[str, typing.Any] = {}
+    seen: set[str] = set()
+    for pair in parts[1:]:
+        key, eq, value = pair.partition("=")
+        key = key.strip()
+        if not eq or not key:
+            raise AutoscaleSpecError(
+                f"autoscale spec: expected key=value, got {pair.strip()!r}")
+        field = _KEY_FIELDS.get(key)
+        if field is None:
+            raise AutoscaleSpecError(
+                f"autoscale spec: unknown key {key!r}; accepted keys: "
+                f"{AUTOSCALE_SPEC_KEYS}")
+        if key in seen:
+            raise AutoscaleSpecError(
+                f"autoscale spec: duplicate key {key!r} in {entry.strip()!r}")
+        seen.add(key)
+        overrides[field] = _coerce(key, field, value.strip())
+    return scope, overrides
+
+
+def parse_autoscale_spec(spec: str,
+                         clusters: typing.Collection[str],
+                         ) -> dict[str, AutoscalePolicy]:
+    """Parse a full ``;``-separated autoscale specification string.
+
+    Args:
+        spec: the ``--autoscale`` string.
+        clusters: the topology's cluster names; named scopes outside this
+            set are rejected at parse time.
+
+    Returns:
+        ``{cluster: AutoscalePolicy}`` for every cluster the spec covers
+        (all of them when a ``*`` entry is present). Clusters the spec
+        does not mention are absent — they keep their fixed replica sets.
+    """
+    entries = [entry for entry in spec.split(";") if entry.strip()]
+    if not entries:
+        raise AutoscaleSpecError(f"autoscale spec is empty: {spec!r}")
+    known = set(clusters)
+    wildcard: dict | None = None
+    named: dict[str, dict] = {}
+    for entry in entries:
+        scope, overrides = _parse_entry(entry)
+        if scope == "*":
+            if wildcard is not None:
+                raise AutoscaleSpecError(
+                    "autoscale spec: duplicate '*' entry")
+            wildcard = overrides
+        else:
+            if scope not in known:
+                raise AutoscaleSpecError(
+                    f"autoscale spec: unknown cluster {scope!r}; known "
+                    f"clusters: {tuple(sorted(known))}")
+            if scope in named:
+                raise AutoscaleSpecError(
+                    f"autoscale spec: duplicate entry for {scope!r}")
+            named[scope] = overrides
+
+    policies: dict[str, AutoscalePolicy] = {}
+    covered = sorted(known) if wildcard is not None else sorted(named)
+    for cluster in covered:
+        overrides = dict(wildcard or {})
+        overrides.update(named.get(cluster, {}))
+        try:
+            policies[cluster] = AutoscalePolicy(**overrides)
+        except AutoscaleSpecError:
+            raise
+        except ConfigError as exc:
+            raise AutoscaleSpecError(
+                f"autoscale spec: {cluster}: {exc}") from exc
+    return policies
+
+
+def resolve_autoscale_policies(autoscale,
+                               clusters: typing.Collection[str],
+                               ) -> dict[str, AutoscalePolicy]:
+    """Normalize the coordinator's ``autoscale`` argument.
+
+    Accepts a single :class:`AutoscalePolicy` (applied to every
+    cluster), a ``{cluster: policy}`` mapping (unknown clusters
+    rejected), or a raw spec string (parsed against the topology).
+    """
+    if isinstance(autoscale, str):
+        return parse_autoscale_spec(autoscale, clusters)
+    if isinstance(autoscale, AutoscalePolicy):
+        return {cluster: autoscale for cluster in sorted(clusters)}
+    if isinstance(autoscale, dict):
+        known = set(clusters)
+        for cluster, policy in autoscale.items():
+            if cluster not in known:
+                raise AutoscaleSpecError(
+                    f"autoscale: unknown cluster {cluster!r}; known "
+                    f"clusters: {tuple(sorted(known))}")
+            if not isinstance(policy, AutoscalePolicy):
+                raise AutoscaleSpecError(
+                    f"autoscale: {cluster} maps to {type(policy).__name__}, "
+                    f"expected AutoscalePolicy")
+        return dict(autoscale)
+    raise AutoscaleSpecError(
+        f"autoscale must be an AutoscalePolicy, a cluster mapping, or a "
+        f"spec string: {type(autoscale).__name__}")
+
+
+def describe_policies(policies: dict[str, AutoscalePolicy]) -> str:
+    """One-line human summary of a resolved policy set (CLI output)."""
+    parts = []
+    for cluster in sorted(policies):
+        policy = policies[cluster]
+        fields = dataclasses.asdict(policy)
+        defaults = dataclasses.asdict(AutoscalePolicy())
+        diff = ":".join(
+            f"{name}={value}" for name, value in fields.items()
+            if value != defaults[name])
+        parts.append(f"{cluster}({diff or 'defaults'})")
+    return " ".join(parts)

@@ -1,0 +1,182 @@
+"""Elasticity study cells: cost-vs-latency frontier + loop interaction.
+
+Module-level, picklable cell functions shared by the figure suite
+(``repro figure elasticity``), the committed benchmark
+(``benchmarks/bench_autoscale.py`` → ``BENCH_autoscale.json``) and the
+CI smoke job, so every consumer measures the exact same thing:
+
+* :func:`run_elasticity_cell` runs one elasticity scenario in one of
+  three capacity modes — ``fixed-min`` (the scenario's initial replica
+  sets, autoscaling off), ``autoscale`` (the policies as configured,
+  optionally with an overridden utilization target), ``fixed-max``
+  (every cluster pinned at the policy maximum, autoscaling off) — and
+  returns a JSON-able summary. The elasticity contract is that the
+  autoscaled run beats ``fixed-min`` on P99 while costing fewer
+  replica-seconds than ``fixed-max``.
+* :func:`count_weight_flaps` / :func:`count_replica_flaps` /
+  :func:`convergence_after` quantify how the two control loops interact
+  on the same telemetry — whether concurrent weight shifting and
+  replica churn amplify each other into oscillation, and how long after
+  an outage heals the system takes to settle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bench.coordinator import (
+    ScenarioBenchConfig,
+    run_scenario_benchmark,
+)
+from repro.errors import ConfigError
+from repro.workloads.scenarios import build_scenario
+
+MODES = ("fixed-min", "autoscale", "fixed-max")
+
+# Relative weight change below which a reconcile does not count as a
+# direction flip (weight solvers jitter by a few parts per thousand).
+_WEIGHT_FLAP_THRESHOLD = 0.10
+
+
+def _mode_scenario(name: str, duration_s: float, mode: str,
+                   target: float | None):
+    """Build the scenario in one capacity mode; returns (scenario, max)."""
+    scenario = build_scenario(name, duration_s)
+    if scenario.autoscale is None:
+        raise ConfigError(
+            f"scenario {name!r} carries no autoscale policies; the "
+            "elasticity study needs one of the elastic-* pair")
+    policies = dict(scenario.autoscale)
+    if target is not None:
+        policies = {cluster: dataclasses.replace(policy, target=target)
+                    for cluster, policy in policies.items()}
+    max_replicas = {cluster: policy.max_replicas
+                    for cluster, policy in policies.items()}
+    if mode == "autoscale":
+        return dataclasses.replace(scenario, autoscale=policies), max_replicas
+    if mode == "fixed-min":
+        return dataclasses.replace(scenario, autoscale=None), max_replicas
+    if mode == "fixed-max":
+        topology = dataclasses.replace(
+            scenario.topology, replicas=max_replicas)
+        return dataclasses.replace(
+            scenario, autoscale=None, topology=topology), max_replicas
+    raise ConfigError(f"mode must be one of {MODES}: {mode!r}")
+
+
+def run_elasticity_cell(scenario: str = "elastic-surge",
+                        mode: str = "autoscale",
+                        algorithm: str = "l3",
+                        duration_s: float = 360.0,
+                        seed: int = 1,
+                        target: float | None = None) -> dict:
+    """One elasticity benchmark cell; JSON-able summary, cacheable.
+
+    Fixed modes have no cost integral of their own, so their
+    replica-seconds are the analytic ``replicas × run length`` (warm-up
+    included, matching the autoscaled integral's span).
+    """
+    built, max_replicas = _mode_scenario(scenario, duration_s, mode, target)
+    result = run_scenario_benchmark(
+        built, algorithm, duration_s=duration_s, seed=seed)
+    if mode == "autoscale":
+        replica_seconds = result.total_replica_seconds
+    else:
+        replicas = built.topology.replicas
+        span = ScenarioBenchConfig().warmup_s + duration_s
+        replica_seconds = float(sum(replicas.values())) * span
+    heal_s = None
+    for fault in built.faults:
+        if fault.duration_s is not None:
+            ends = ScenarioBenchConfig().warmup_s + fault.at_s \
+                + fault.duration_s
+            heal_s = ends if heal_s is None else max(heal_s, ends)
+    summary = {
+        "scenario": scenario,
+        "mode": mode,
+        "algorithm": algorithm,
+        "seed": seed,
+        "target": target,
+        "requests": result.request_count,
+        "p50_ms": result.p50_ms,
+        "p99_ms": result.p99_ms,
+        "success_rate": result.success_rate,
+        "replica_seconds": replica_seconds,
+        "scale_events": len(result.autoscale_events),
+        "replica_flaps": count_replica_flaps(result.autoscale_events),
+        "weight_flaps": count_weight_flaps(result.weight_samples),
+        "final_replicas": result.final_replicas,
+    }
+    if heal_s is not None:
+        summary["convergence_after_heal_s"] = convergence_after(
+            result.autoscale_events, result.weight_samples, heal_s)
+    return summary
+
+
+def count_replica_flaps(events) -> int:
+    """Scaling direction reversals, summed over backends.
+
+    A flap is a scale-up followed by a scale-down on the same backend
+    (or vice versa) — the signature of the two control loops fighting.
+    A clean surge response (N ups, then N downs after the surge) counts
+    exactly one flap; oscillation counts many.
+    """
+    last_direction: dict[str, int] = {}
+    flaps = 0
+    for _when, backend, delta, _after in events:
+        previous = last_direction.get(backend)
+        if previous is not None and delta != previous:
+            flaps += 1
+        last_direction[backend] = delta
+    return flaps
+
+
+def count_weight_flaps(weight_samples) -> int:
+    """Weight direction reversals beyond a 10 % dead-band, summed.
+
+    Consumes the ``(time, {backend: weight})`` snapshots the autoscale
+    driver records at scaler ticks. Small solver jitter is ignored; a
+    flap is a materially increasing weight turning into a materially
+    decreasing one (or vice versa) for the same backend.
+    """
+    last_weight: dict[str, float] = {}
+    last_direction: dict[str, int] = {}
+    flaps = 0
+    for _when, weights in weight_samples:
+        for backend, weight in weights.items():
+            previous = last_weight.get(backend)
+            last_weight[backend] = weight
+            if previous is None or previous <= 0:
+                continue
+            if abs(weight - previous) / previous < _WEIGHT_FLAP_THRESHOLD:
+                continue
+            direction = 1 if weight > previous else -1
+            if last_direction.get(backend, direction) != direction:
+                flaps += 1
+            last_direction[backend] = direction
+    return flaps
+
+
+def convergence_after(events, weight_samples, after_s: float) -> float:
+    """Seconds past ``after_s`` until both control loops went quiet.
+
+    The settle point is the later of: the last replica-set change, and
+    the last materially-changed weight snapshot (10 % dead-band), at or
+    after ``after_s``. Zero means both loops were already steady.
+    """
+    settled = after_s
+    for when, _backend, _delta, _after in events:
+        if when >= after_s:
+            settled = max(settled, when)
+    previous: dict[str, float] = {}
+    for when, weights in weight_samples:
+        changed = False
+        for backend, weight in weights.items():
+            last = previous.get(backend)
+            if last is not None and last > 0 \
+                    and abs(weight - last) / last >= _WEIGHT_FLAP_THRESHOLD:
+                changed = True
+            previous[backend] = weight
+        if changed and when >= after_s:
+            settled = max(settled, when)
+    return settled - after_s

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 from repro.analysis.percentiles import Percentiles
 from repro.analysis.stats import success_rate as _success_rate
+from repro.autoscale.driver import SimAutoscaleSet
+from repro.autoscale.spec import resolve_autoscale_policies
 from repro.balancers.factory import make_balancer
 from repro.core.config import L3Config
 from repro.errors import ConfigError
@@ -106,6 +108,15 @@ class BenchmarkResult:
         events_processed: kernel events the run's simulator dispatched
             (warm-up and drain included) — the numerator of the
             events/sec perf baseline in ``benchmarks/bench_perf.py``.
+        autoscale_events: merged ``(time, backend, delta,
+            replicas_after)`` log of every replica admitted or retired,
+            when the run autoscaled (times include warm-up).
+        replica_seconds: per-backend cost integrals
+            ∫(running + provisioning) dt over the whole run.
+        weight_samples: ``(time, {backend: weight})`` TrafficSplit
+            snapshots taken at autoscaler ticks — the raw series of the
+            control-loop interaction study.
+        final_replicas: per-backend replica counts at the end of the run.
     """
 
     scenario: str
@@ -117,6 +128,15 @@ class BenchmarkResult:
     fault_log: list = field(default_factory=list)
     tracer: object | None = None
     events_processed: int = 0
+    autoscale_events: list = field(default_factory=list)
+    replica_seconds: dict = field(default_factory=dict)
+    weight_samples: list = field(default_factory=list)
+    final_replicas: dict = field(default_factory=dict)
+
+    @property
+    def total_replica_seconds(self) -> float:
+        """Fleet-wide elasticity cost (0.0 when the run never autoscaled)."""
+        return sum(self.replica_seconds.values())
 
     @property
     def request_count(self) -> int:
@@ -195,6 +215,7 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
                            faults: list | None = None,
                            tracer=None,
                            engine: str = "fast",
+                           autoscale=None,
                            ) -> BenchmarkResult:
     """Run one TIER-like scenario under one balancing algorithm.
 
@@ -222,6 +243,13 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
             ``"process"`` (one generator process per request). Both
             produce byte-identical results; ``"process"`` remains as the
             executable specification the fast path is checked against.
+        autoscale: per-cluster elasticity — an
+            :class:`~repro.autoscale.policy.AutoscalePolicy` (applied to
+            every cluster), ``{cluster: policy}``, or a CLI-style spec
+            string (:func:`~repro.autoscale.spec.parse_autoscale_spec`).
+            ``None`` falls back to ``scenario.autoscale``; when that is
+            also ``None`` the run is byte-identical to autoscale-free
+            builds.
     """
     env = env or ScenarioBenchConfig()
     if engine not in ENGINE_NAMES:
@@ -270,8 +298,20 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
             controllers=[controller] if controller is not None else [])
         injector.schedule_all(all_faults, offset_s=env.warmup_s)
 
+    if autoscale is None:
+        autoscale = scenario.autoscale
+    autoscale_set = None
+    if autoscale is not None:
+        policies = resolve_autoscale_policies(
+            autoscale, scenario.clusters())
+        autoscale_set = SimAutoscaleSet(
+            deployment, policies, source, scraper,
+            controller=getattr(balancer, "controller", None))
+
     scrape_proc = sim.spawn(scraper.run(sim), name="scraper")
     balancer.start(sim)
+    if autoscale_set is not None:
+        autoscale_set.start(sim)
 
     records: list = []
     loadgen = OpenLoopLoadGenerator(
@@ -291,6 +331,8 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
 
     sim.run(until=total)
     balancer.stop()
+    if autoscale_set is not None:
+        autoscale_set.stop(total)
     scrape_proc.interrupt()
     # Let in-flight requests finish so tail samples are not truncated.
     sim.run(until=total + env.drain_s)
@@ -309,12 +351,18 @@ def run_scenario_benchmark(scenario: str | Scenario, algorithm: str,
     controller = getattr(balancer, "controller", None)
     if controller is not None:
         weights = dict(controller.last_weights)
-    return BenchmarkResult(
+    result = BenchmarkResult(
         scenario=scenario.name, algorithm=algorithm, seed=seed,
         duration_s=duration_s, records=measured,
         controller_weights=weights,
         fault_log=list(injector.log) if injector else [],
         tracer=tracer, events_processed=events_processed)
+    if autoscale_set is not None:
+        result.autoscale_events = autoscale_set.event_log()
+        result.replica_seconds = autoscale_set.replica_seconds()
+        result.weight_samples = list(autoscale_set.weight_samples)
+        result.final_replicas = autoscale_set.final_replicas()
+    return result
 
 
 def run_callgraph_benchmark(build_application, app_name: str,

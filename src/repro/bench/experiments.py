@@ -487,3 +487,40 @@ def ablation_scrape_interval(scenario: str = "scenario-2",
                                      jobs=jobs).items():
         table.add(label, p99_ms=result["p99_ms"])
     return BarExperiment("Ablation", "scrape interval", table)
+
+
+def fig_elasticity(duration_s: float = 360.0, seed0: int = 1,
+                   jobs: int | None = 1) -> BarExperiment:
+    """Elasticity frontier: autoscaling vs the fixed-capacity corners.
+
+    Runs the ``elastic-surge`` scenario under L3 in three capacity modes
+    (see :mod:`repro.autoscale.study`): the fixed-minimum fleet
+    saturates through the surge, the fixed-maximum fleet pays for idle
+    replicas through the shoulders, and the autoscaled fleet should sit
+    between them on *both* axes — lower P99 than fixed-min, fewer
+    replica-seconds than fixed-max. ``BENCH_autoscale.json`` pins this
+    contract; the figure renders it.
+    """
+    from repro.autoscale.study import MODES, run_elasticity_cell
+
+    cells = [
+        Cell(id=mode, fn=run_elasticity_cell,
+             kwargs={"scenario": "elastic-surge", "mode": mode,
+                     "algorithm": "l3", "duration_s": duration_s,
+                     "seed": seed0})
+        for mode in MODES
+    ]
+    outcomes = run_cells(cells, jobs=jobs)
+    table = ComparisonTable(
+        f"elasticity: elastic-surge under l3 ({duration_s:.0f}s)",
+        baseline="fixed-min")
+    for mode in MODES:
+        row = outcomes[mode].unwrap()
+        table.add(mode,
+                  p50_ms=row["p50_ms"], p99_ms=row["p99_ms"],
+                  success_pct=row["success_rate"] * 100.0,
+                  replica_seconds=row["replica_seconds"],
+                  scale_events=row["scale_events"])
+    return BarExperiment(
+        "Elasticity", "cost vs latency: autoscale between the fixed corners",
+        table)

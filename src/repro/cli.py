@@ -26,7 +26,7 @@ from repro.tracing import TRACE_FORMATS
 from repro.workloads.scenarios import SCENARIO_NAMES
 
 FIGURES = ("fig1", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
-           "fig11", "fig12")
+           "fig11", "fig12", "elasticity")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -67,6 +67,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           "[:key=value...]' entries joined by ';' "
                           "(e.g. 'cluster-outage@30+30:cluster=cluster-2"
                           ":mode=blackhole'); see 'repro list' for kinds")
+    run.add_argument("--autoscale", metavar="SPEC", default=None,
+                     help="autoscale replica sets: 'scope[:key=value...]' "
+                          "entries joined by ';', scope a cluster name or "
+                          "'*' (e.g. '*:target=0.5:min=2:max=6'); see "
+                          "'repro list' for keys; overrides the "
+                          "scenario's own policies")
     run.add_argument("--request-timeout", type=float, default=None,
                      metavar="SECONDS",
                      help="per-attempt client deadline (off by default, "
@@ -206,6 +212,10 @@ def _print_result(result) -> None:
     print(f"  success rate {result.success_rate * 100.0:.2f} %")
     if result.controller_weights:
         print(f"  final weights {result.controller_weights}")
+    if getattr(result, "final_replicas", None):
+        print(f"  autoscale: {len(result.autoscale_events)} scale events, "
+              f"{result.total_replica_seconds:.0f} replica-seconds, "
+              f"final replicas {result.final_replicas}")
 
 
 def _write_live_report(result, harness, path: str) -> None:
@@ -317,6 +327,11 @@ def _run_figure(name: str, fast: bool, jobs: int | None = 1) -> None:
             print(experiment.render())
             _chart_bar_experiment(experiment)
             print()
+    elif name == "elasticity":
+        experiment = experiments.fig_elasticity(
+            duration_s=min(duration, 360.0), jobs=jobs)
+        print(experiment.render())
+        _chart_bar_experiment(experiment)
 
 
 def main(argv=None) -> int:
@@ -326,10 +341,13 @@ def main(argv=None) -> int:
     if args.command == "list":
         from repro.faults import FAULT_KINDS
 
+        from repro.autoscale import AUTOSCALE_SPEC_KEYS
+
         print("scenarios: ", ", ".join(SCENARIO_NAMES))
         print("algorithms:", ", ".join(BALANCER_NAMES))
         print("figures:   ", ", ".join(FIGURES))
         print("faults:    ", ", ".join(FAULT_KINDS))
+        print("autoscale: ", ", ".join(AUTOSCALE_SPEC_KEYS))
         print("tournament:", ", ".join(TOURNAMENT_SCENARIO_NAMES))
         return 0
 
@@ -342,6 +360,7 @@ def main(argv=None) -> int:
         faults = None
         env = None
         tracer = None
+        autoscale = None
         if args.faults is not None:
             from repro.bench.coordinator import SCENARIO_SERVICE
             from repro.faults import parse_fault_spec
@@ -352,6 +371,14 @@ def main(argv=None) -> int:
             faults = parse_fault_spec(
                 args.faults, clusters=set(topology.clusters()),
                 services={SCENARIO_SERVICE})
+        if args.autoscale is not None:
+            from repro.autoscale import parse_autoscale_spec
+            from repro.workloads.scenarios import build_scenario
+
+            built = (build_scenario(scenario)
+                     if isinstance(scenario, str) else scenario)
+            autoscale = parse_autoscale_spec(
+                args.autoscale, built.clusters())
         if args.request_timeout is not None or args.outlier_ejection:
             from repro.bench.coordinator import ScenarioBenchConfig
             from repro.mesh.ejection import OutlierEjectionConfig
@@ -367,7 +394,7 @@ def main(argv=None) -> int:
         result = run_scenario_benchmark(
             scenario, args.algorithm, duration_s=args.duration,
             seed=args.seed, env=env, faults=faults, tracer=tracer,
-            engine=args.engine)
+            engine=args.engine, autoscale=autoscale)
         _print_result(result)
         if tracer is not None:
             _export_traces(tracer, args.trace, args.trace_format)

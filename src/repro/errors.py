@@ -22,6 +22,15 @@ class FaultSpecError(ConfigError):
     """
 
 
+class AutoscaleSpecError(ConfigError):
+    """An autoscale policy specification is malformed or inconsistent.
+
+    Raised at parse/validation time — before anything is wired up — so a
+    bad ``--autoscale`` string fails the run immediately, mirroring
+    :class:`FaultSpecError` for ``--faults``.
+    """
+
+
 class MeshError(ReproError):
     """The service-mesh model was used incorrectly (unknown service, etc.)."""
 

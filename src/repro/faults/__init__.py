@@ -40,6 +40,8 @@ from repro.faults.faults import (
 )
 from repro.faults.spec import (
     FAULT_KINDS,
+    fault_from_dict,
+    fault_to_dict,
     parse_fault_entry,
     parse_fault_spec,
     validate_fault_spec,
@@ -58,6 +60,8 @@ __all__ = [
     "ControllerPause",
     "ControllerCrash",
     "FAULT_KINDS",
+    "fault_from_dict",
+    "fault_to_dict",
     "parse_fault_entry",
     "parse_fault_spec",
     "validate_fault_spec",

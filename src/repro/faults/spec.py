@@ -249,3 +249,33 @@ def parse_fault_spec(spec: str,
     faults = [parse_fault_entry(entry) for entry in entries]
     validate_fault_spec(faults, clusters=clusters, services=services)
     return faults
+
+
+def fault_to_dict(fault: Fault) -> dict:
+    """Serialise a fault as ``{"kind": ..., <fields>}`` (trace JSON)."""
+    import dataclasses
+
+    for kind, (cls, _key_map, _required) in _KINDS.items():
+        if type(fault) is cls:
+            doc = dataclasses.asdict(fault)
+            doc["kind"] = kind
+            return doc
+    raise ConfigError(
+        f"cannot serialise unregistered fault type: "
+        f"{type(fault).__name__}")
+
+
+def fault_from_dict(data: dict) -> Fault:
+    """Rebuild a fault from :func:`fault_to_dict` output."""
+    fields = dict(data)
+    kind = fields.pop("kind", None)
+    if kind not in _KINDS:
+        raise ConfigError(
+            f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}")
+    cls = _KINDS[kind][0]
+    try:
+        fault = cls(**fields)
+    except TypeError as error:
+        raise ConfigError(f"bad fields for fault {kind!r}: {error}") from None
+    fault.validate()
+    return fault

@@ -128,7 +128,12 @@ def render_exposition(targets, gauges=(), bucket_bounds=None) -> str:
             lines.extend(family_lines)
     for metric, metric_lines in gauge_lines.items():
         if metric_lines:
-            lines.append(f"# TYPE {metric} gauge")
+            # Custom entries may carry counter metrics (e.g. the
+            # autoscaler's event counter travels through the same
+            # register_gauge-style hook); type them honestly.
+            kind = ("counter" if metric in names.COUNTER_METRICS
+                    else "gauge")
+            lines.append(f"# TYPE {metric} {kind}")
             lines.extend(metric_lines)
     return "\n".join(lines) + "\n"
 

@@ -533,7 +533,8 @@ class _Flight:
         if profile.sample_failure(replica.rng, now):
             self.sched(profile.failure_latency_s, self._exec_failed_cb)
         else:
-            self.sched(profile.sample_service_time(replica.rng, now),
+            self.sched(profile.sample_service_time(replica.rng, now)
+                       * replica.service_time_scale,
                        self._exec_ok_cb)
 
     def _exec_ok(self) -> None:
@@ -700,12 +701,14 @@ class _VectorFlight(_Flight):
             # Bankable: sample_failure would return False without a
             # draw, so the success path is unconditional.
             self.sched(
-                vectorpath.zqueue_service_time(profile, zqueue, now),
+                vectorpath.zqueue_service_time(profile, zqueue, now)
+                * replica.service_time_scale,
                 self._exec_ok_cb)
         elif profile.sample_failure(replica.rng, now):
             self.sched(profile.failure_latency_s, self._exec_failed_cb)
         else:
-            self.sched(profile.sample_service_time(replica.rng, now),
+            self.sched(profile.sample_service_time(replica.rng, now)
+                       * replica.service_time_scale,
                        self._exec_ok_cb)
 
 

@@ -29,7 +29,8 @@ class Replica:
     """One replica (pod) of a service deployment in some cluster."""
 
     __slots__ = ("sim", "name", "profile", "rng", "server", "completed",
-                 "failed", "up", "down_mode", "_blackhole_gates")
+                 "failed", "up", "down_mode", "service_time_scale",
+                 "_blackhole_gates")
 
     def __init__(self, sim: Simulator, name: str, profile: BackendProfile,
                  rng, capacity: int = 64):
@@ -51,6 +52,12 @@ class Replica:
         self.failed = 0
         self.up = True
         self.down_mode = "fail_fast"
+        # Service-rate dial: sampled service times are multiplied by this.
+        # 1.0 (the default) is an IEEE-exact identity, so steady-state
+        # replicas are bit-identical with or without the dial; a replica
+        # still warming up after an autoscale launch runs slower (> 1.0)
+        # until its cold-start ramp completes (repro.autoscale.targets).
+        self.service_time_scale = 1.0
         # Requests hung on a blackholed replica; released (as failures)
         # when the replica restarts.
         self._blackhole_gates: list = []
@@ -137,7 +144,8 @@ class Replica:
                     trace.end(exec_span, self.sim.now,
                               status=trace_model.ERROR)
                 return False
-            service_time = self.profile.sample_service_time(self.rng, now)
+            service_time = (self.profile.sample_service_time(self.rng, now)
+                            * self.service_time_scale)
             yield self.sim.timeout(service_time)
             success = True
             if body is not None:

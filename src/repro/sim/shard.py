@@ -539,6 +539,10 @@ def run_sharded_benchmark(scenario, algorithm: str = "l3",
         raise ConfigError(
             "the shard engine does not run fault schedules; use the "
             "per-event engines")
+    if getattr(scenario, "autoscale", None) is not None:
+        raise ConfigError(
+            "the shard engine runs fixed replica sets; autoscaling "
+            "scenarios need the per-event engines")
     if env.max_retries or env.request_timeout_s is not None \
             or env.outlier_ejection is not None:
         raise ConfigError(

@@ -30,6 +30,8 @@ SUCCESS_LATENCY_COUNT = "success_latency_count"
 FAILURE_LATENCY_BUCKETS = "failure_latency_buckets"
 INFLIGHT = "inflight"
 SERVER_QUEUE = "server_queue"
+REPLICA_COUNT = "replica_count"
+AUTOSCALE_EVENTS = "autoscale_events"
 
 # --- Prometheus text-exposition vocabulary ----------------------------- #
 
@@ -37,10 +39,15 @@ SERVER_QUEUE = "server_queue"
 SERIES_LABEL = "series"
 
 # Counter metrics: exposition name == store name, value is a float.
-COUNTER_METRICS = (REQUESTS_TOTAL, FAILURES_TOTAL)
+COUNTER_METRICS = (REQUESTS_TOTAL, FAILURES_TOTAL, AUTOSCALE_EVENTS)
 
 # Gauge metrics: exposition name == store name, value is a float.
-GAUGE_METRICS = (INFLIGHT, SERVER_QUEUE)
+GAUGE_METRICS = (INFLIGHT, SERVER_QUEUE, REPLICA_COUNT)
+
+# Metrics reported by the backend itself (under ``server|<backend>``
+# series), not part of any client proxy's scrape bundle: the queue gauge
+# C3 reads, plus the autoscaler's replica gauge and event counter.
+SERVER_SIDE_METRICS = (SERVER_QUEUE, REPLICA_COUNT, AUTOSCALE_EVENTS)
 
 # Histogram families: store name of the cumulative-bucket tuple → the
 # exposition family base name. Prometheus convention derives the three
@@ -69,6 +76,8 @@ ALL_METRICS = (
     FAILURE_LATENCY_BUCKETS,
     INFLIGHT,
     SERVER_QUEUE,
+    REPLICA_COUNT,
+    AUTOSCALE_EVENTS,
 )
 
 

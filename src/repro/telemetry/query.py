@@ -119,21 +119,34 @@ class PromMetricsSource:
         return quantile_from_delta(
             self.bucket_bounds, buckets0, buckets1, percentile)
 
-    def server_queue(self, name: str, now: float, window_s: float) -> float:
-        """Latest server-side queue occupancy of a backend (unscoped).
+    def server_gauge(self, name: str, metric: str, now: float,
+                     window_s: float) -> float | None:
+        """Latest server-side gauge of a backend, or None without a sample.
 
-        Server-reported queue size is the feedback channel the original C3
-        relies on; it is a property of the backend itself, so the series
-        is shared by all vantage points (never scope-prefixed).
+        Server-reported metrics (queue occupancy, replica count) are
+        properties of the backend itself, so their series are shared by
+        all vantage points (never scope-prefixed). ``None`` — as opposed
+        to the zero :meth:`server_queue` substitutes — lets a consumer
+        that must distinguish "no data yet" from "idle" (the autoscaler's
+        hold-state path) do so.
         """
         series_name = self._server_names.get(name)
         if series_name is None:
             series_name = self._server_names[name] = (
                 metric_names.server_series_name(name))
         sample = self.store.series(
-            series_name, metric_names.SERVER_QUEUE
-        ).latest_in_window(now - window_s, now)
-        return max(sample[1], 0.0) if sample else 0.0
+            series_name, metric).latest_in_window(now - window_s, now)
+        return max(sample[1], 0.0) if sample else None
+
+    def server_queue(self, name: str, now: float, window_s: float) -> float:
+        """Latest server-side queue occupancy of a backend (unscoped).
+
+        Server-reported queue size is the feedback channel the original C3
+        relies on; a backend without a sample in the window reads as 0.
+        """
+        value = self.server_gauge(
+            name, metric_names.SERVER_QUEUE, now, window_s)
+        return 0.0 if value is None else value
 
     def failure_latency_quantile(self, name: str, now: float,
                                  window_s: float, percentile: float):

@@ -25,6 +25,17 @@ failure-1      scenario-1 latency + heavy failure injection: average
 failure-2      scenario-2 latency + light failure injection: average
                success ~98.5 %, mostly ≈99 %, short ≤5 pp drops; the
                best backend averages 99.8 %.
+elastic-surge  elasticity pair, part 1 (§3.2 autoscaling interplay):
+               stable latency, a 5x RPS surge mid-trace, small fixed
+               replica sets, and a per-cluster autoscale policy — the
+               surge saturates the fixed-minimum fleet unless the
+               autoscalers add capacity through their provisioning
+               lag and cold-start warmup.
+elastic-outage elasticity pair, part 2: a Fig-11-style full cluster
+               outage under steady load; the survivors' in-flight
+               gauges jump past the setpoint, so the weight
+               controller's failover and the survivors' scale-up
+               co-respond to the same telemetry.
 =============  ====================================================
 """
 
@@ -37,6 +48,7 @@ from repro.errors import ConfigError
 from repro.workloads.profiles import (
     BackendProfile,
     PiecewiseSeries,
+    constant_backend_profile,
     constant_series,
 )
 
@@ -44,7 +56,7 @@ CLUSTERS = ("cluster-1", "cluster-2", "cluster-3")
 
 SCENARIO_NAMES = (
     "scenario-1", "scenario-2", "scenario-3", "scenario-4", "scenario-5",
-    "failure-1", "failure-2",
+    "failure-1", "failure-2", "elastic-surge", "elastic-outage",
 )
 
 # Paper trace length: randomly selected 10-minute periods (§2).
@@ -75,6 +87,11 @@ class Scenario:
             links. ``None`` (the paper scenarios) means the coordinator's
             uniform defaults apply. Typed loosely to keep this module free
             of a fleet import.
+        autoscale: optional per-cluster elasticity —
+            ``{cluster: AutoscalePolicy}`` — applied when the scenario
+            runs through the benchmark coordinator. ``None`` (every
+            paper scenario) means fixed replica sets and a run whose
+            event stream is byte-identical to autoscale-free builds.
     """
 
     name: str
@@ -84,6 +101,7 @@ class Scenario:
     description: str = ""
     faults: list = field(default_factory=list)
     topology: object | None = None
+    autoscale: dict | None = None
 
     def clusters(self) -> list[str]:
         return sorted(self.cluster_profiles)
@@ -335,6 +353,94 @@ def _build_failure_2(duration_s: float) -> Scenario:
         "scenario-2 latency + light failures (avg ~98.5 %, best 99.8 %)")
 
 
+# ------------------------------------------------------------------- #
+# Elasticity pair (repro.autoscale): weights x replicas co-simulation
+# ------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class _ElasticTopology:
+    """Small fixed fleet for the elasticity scenarios.
+
+    Duck-types the three :class:`~repro.workloads.fleet.FleetTopology`
+    attributes the coordinator reads (``replicas``, ``capacities``,
+    ``links``) without importing the fleet generator here.
+    """
+
+    replicas: dict[str, int]
+    capacities: dict[str, int]
+    links: dict = field(default_factory=dict)
+
+
+def _elastic_profiles(duration_s: float) -> dict[str, BackendProfile]:
+    """Identical stable latency everywhere: queueing is the only signal.
+
+    Log-normal with median 80 ms / P99 240 ms gives a mean service time
+    of ~89 ms, so offered-load arithmetic (Erlangs vs. replica slots) is
+    exact and the elasticity contract in ``BENCH_autoscale.json`` is a
+    property of the autoscaler, not of latency-trace noise.
+    """
+    del duration_s  # constant profiles have no trace to scale
+    return {cluster: constant_backend_profile(0.080, 0.240)
+            for cluster in CLUSTERS}
+
+
+def _build_elastic_surge(duration_s: float) -> Scenario:
+    from repro.autoscale.policy import AutoscalePolicy
+
+    # 5x surge through the middle of the trace. At the 600 RPS plateau
+    # each cluster carries ~200 RPS x ~89 ms ≈ 17.9 Erlangs against the
+    # fixed-minimum 2x8 = 16 slots: saturated unless the autoscaler adds
+    # replicas (max 6x8 = 48 slots). At the 120 RPS shoulders, ~3.6
+    # Erlangs sit far below the 0.5 setpoint, so the scale-down path
+    # (stabilization window, pending cancellation) is exercised too.
+    rps = PiecewiseSeries(
+        [(0.0, 120.0), (0.25 * duration_s, 120.0),
+         (0.35 * duration_s, 600.0), (0.60 * duration_s, 600.0),
+         (0.70 * duration_s, 120.0)],
+        period_s=duration_s)
+    policy = AutoscalePolicy(
+        metric="inflight", target=0.5, min_replicas=2, max_replicas=6,
+        interval_s=15.0, provisioning_lag_s=20.0, warmup_s=15.0,
+        cold_start_factor=2.0, scale_down_stabilization_s=60.0,
+        window_s=15.0)
+    return Scenario(
+        "elastic-surge", duration_s, _elastic_profiles(duration_s), rps,
+        "stable latency; 5x RPS surge mid-trace; per-cluster autoscaling",
+        topology=_ElasticTopology(
+            replicas={c: 2 for c in CLUSTERS},
+            capacities={c: 8 for c in CLUSTERS}),
+        autoscale={cluster: policy for cluster in CLUSTERS})
+
+
+def _build_elastic_outage(duration_s: float) -> Scenario:
+    from repro.autoscale.policy import AutoscalePolicy
+    from repro.faults.faults import ClusterOutage
+
+    # Steady 360 RPS over 3x3x8 slots is comfortable (~10.7 Erlangs per
+    # cluster). When cluster-2 drops out (Fig-11 style fail-fast outage
+    # through the middle quarter of the trace), the survivors absorb
+    # ~16 Erlangs each — past the 0.45 x 8 = 3.6 per-replica setpoint —
+    # so the weight controller's failover and the survivors' scale-up
+    # react to the same scraped gauges at the same time.
+    rps = constant_series(360.0)
+    policy = AutoscalePolicy(
+        metric="inflight", target=0.45, min_replicas=3, max_replicas=6,
+        interval_s=15.0, provisioning_lag_s=20.0, warmup_s=15.0,
+        cold_start_factor=2.0, scale_down_stabilization_s=60.0,
+        window_s=15.0)
+    outage = ClusterOutage(
+        cluster="cluster-2", at_s=0.35 * duration_s,
+        duration_s=0.25 * duration_s, mode="fail_fast")
+    return Scenario(
+        "elastic-outage", duration_s, _elastic_profiles(duration_s), rps,
+        "steady load; full cluster-2 outage; failover + scale-up co-respond",
+        faults=[outage],
+        topology=_ElasticTopology(
+            replicas={c: 3 for c in CLUSTERS},
+            capacities={c: 8 for c in CLUSTERS}),
+        autoscale={cluster: policy for cluster in CLUSTERS})
+
+
 _BUILDERS = {
     "scenario-1": _build_scenario_1,
     "scenario-2": _build_scenario_2,
@@ -343,6 +449,8 @@ _BUILDERS = {
     "scenario-5": _build_scenario_5,
     "failure-1": _build_failure_1,
     "failure-2": _build_failure_2,
+    "elastic-surge": _build_elastic_surge,
+    "elastic-outage": _build_elastic_outage,
 }
 
 

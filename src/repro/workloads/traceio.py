@@ -42,17 +42,22 @@ def _series_from_dict(data: dict) -> PiecewiseSeries:
 
 
 def _topology_to_dict(topology) -> dict:
-    return {
+    doc = {
         "replicas": dict(topology.replicas),
         "capacities": dict(topology.capacities),
-        "client_cluster": topology.client_cluster,
-        "zipf_weight": dict(topology.zipf_weight),
-        "rps_share": dict(topology.rps_share),
         # JSON keys must be strings; encode the directed pair as "src dst"
         # (cluster names cannot contain spaces in this codebase).
         "links": {f"{src} {dst}": dataclasses.asdict(link)
                   for (src, dst), link in topology.links.items()},
     }
+    # Full FleetTopology instances carry fleet-generator metadata; the
+    # minimal elasticity topologies carry only the three keys above.
+    client_cluster = getattr(topology, "client_cluster", None)
+    if client_cluster is not None:
+        doc["client_cluster"] = client_cluster
+        doc["zipf_weight"] = dict(topology.zipf_weight)
+        doc["rps_share"] = dict(topology.rps_share)
+    return doc
 
 
 def _topology_from_dict(data: dict):
@@ -61,6 +66,7 @@ def _topology_from_dict(data: dict):
     # needless import-order hazard.
     from repro.mesh.network import WanLink
     from repro.workloads.fleet import FleetTopology
+    from repro.workloads.scenarios import _ElasticTopology
 
     links = {}
     for pair, link_data in data["links"].items():
@@ -68,14 +74,37 @@ def _topology_from_dict(data: dict):
         if not dst:
             raise ConfigError(f"malformed link pair: {pair!r}")
         links[(src, dst)] = WanLink(**link_data)
+    replicas = {k: int(v) for k, v in data["replicas"].items()}
+    capacities = {k: int(v) for k, v in data["capacities"].items()}
+    if data.get("client_cluster") is None:
+        return _ElasticTopology(
+            replicas=replicas, capacities=capacities, links=links)
     return FleetTopology(
-        replicas={k: int(v) for k, v in data["replicas"].items()},
-        capacities={k: int(v) for k, v in data["capacities"].items()},
+        replicas=replicas,
+        capacities=capacities,
         links=links,
         zipf_weight=dict(data["zipf_weight"]),
         rps_share=dict(data["rps_share"]),
         client_cluster=data["client_cluster"],
     )
+
+
+def _autoscale_to_dict(policies: dict) -> dict:
+    return {cluster: dataclasses.asdict(policy)
+            for cluster, policy in policies.items()}
+
+
+def _autoscale_from_dict(data: dict) -> dict:
+    from repro.autoscale.policy import AutoscalePolicy
+
+    policies = {}
+    for cluster, fields in data.items():
+        try:
+            policies[cluster] = AutoscalePolicy(**fields)
+        except TypeError as error:
+            raise ConfigError(
+                f"bad autoscale policy for {cluster!r}: {error}") from None
+    return policies
 
 
 def scenario_to_dict(scenario: Scenario) -> dict:
@@ -99,6 +128,12 @@ def scenario_to_dict(scenario: Scenario) -> dict:
     }
     if scenario.topology is not None:
         doc["topology"] = _topology_to_dict(scenario.topology)
+    if scenario.autoscale is not None:
+        doc["autoscale"] = _autoscale_to_dict(scenario.autoscale)
+    if scenario.faults:
+        from repro.faults import fault_to_dict
+
+        doc["faults"] = [fault_to_dict(fault) for fault in scenario.faults]
     return doc
 
 
@@ -122,14 +157,23 @@ def scenario_from_dict(data: dict) -> Scenario:
             failure_latency_s=profile_data.get("failure_latency_s", 0.05),
         )
     topology_data = data.get("topology")
+    autoscale_data = data.get("autoscale")
+    faults = []
+    if data.get("faults"):
+        from repro.faults import fault_from_dict
+
+        faults = [fault_from_dict(entry) for entry in data["faults"]]
     return Scenario(
         name=data["name"],
         duration_s=float(data["duration_s"]),
         cluster_profiles=profiles,
         rps=_series_from_dict(data["rps"]),
         description=data.get("description", ""),
+        faults=faults,
         topology=(None if topology_data is None
                   else _topology_from_dict(topology_data)),
+        autoscale=(None if autoscale_data is None
+                   else _autoscale_from_dict(autoscale_data)),
     )
 
 

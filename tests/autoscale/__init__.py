@@ -1,0 +1,1 @@
+"""Tests for the telemetry-driven elasticity subsystem."""

@@ -1,0 +1,240 @@
+"""BackendAutoscaler control-loop dynamics, driven with stub substrates.
+
+The core is a pure ``step(now)`` state machine, so every HPA behaviour —
+provisioning lag, stabilization windows, cancel-before-retire,
+one-retirement-per-step, cost accounting — is pinned here with
+hand-picked timestamps and no simulator.
+"""
+
+import types
+
+import pytest
+
+from repro.autoscale import AutoscalePolicy, BackendAutoscaler
+from repro.autoscale.targets import SimBackendTarget
+from repro.mesh.service import Backend
+from repro.workloads.profiles import constant_backend_profile
+
+
+class FakeTarget:
+    """A bare counter implementing the scale-target protocol."""
+
+    def __init__(self, replicas=1, capacity=4):
+        self.replica_count = replicas
+        self.capacity_per_replica = capacity
+        self.warmup_ticks = 0
+
+    def add_replica(self, now):
+        self.replica_count += 1
+
+    def remove_replica(self, now):
+        self.replica_count -= 1
+
+    def tick_warmup(self, now):
+        self.warmup_ticks += 1
+
+
+class FakeSource:
+    """Telemetry stub: settable inflight gauge + rps/p99 sample."""
+
+    def __init__(self, inflight=None, rps=None, latency_s=None):
+        self.inflight = inflight
+        self.rps = rps
+        self.latency_s = latency_s
+
+    def server_gauge(self, name, metric, now, window_s):
+        return self.inflight
+
+    def collect(self, names, now, window_s, percentile):
+        if self.rps is None and self.latency_s is None:
+            return {name: None for name in names}
+        sample = types.SimpleNamespace(rps=self.rps,
+                                       latency_s=self.latency_s)
+        return {name: sample for name in names}
+
+
+def make_scaler(policy, *, replicas=1, capacity=4, inflight=None, **source):
+    target = FakeTarget(replicas=replicas, capacity=capacity)
+    src = FakeSource(inflight=inflight, **source)
+    scaler = BackendAutoscaler("api/cluster-1", target, policy, src)
+    return scaler, target, src
+
+
+class TestScaleUp:
+    def test_no_telemetry_holds_state(self):
+        scaler, target, _src = make_scaler(AutoscalePolicy(), replicas=3)
+        scaler.step(15.0)
+        assert target.replica_count == 3
+        assert scaler.pending_count == 0
+        assert scaler.last_desired is None
+        assert target.warmup_ticks == 1  # warmup still advances
+
+    def test_provisioning_lag_delays_admission(self):
+        policy = AutoscalePolicy(interval_s=15.0, provisioning_lag_s=30.0)
+        # inflight 8 against target 0.5 x capacity 4 => desired 4.
+        scaler, target, _src = make_scaler(policy, replicas=1, inflight=8.0)
+        scaler.step(15.0)
+        assert scaler.last_desired == 4
+        assert target.replica_count == 1  # launched, not yet serving
+        assert scaler.pending_count == 3
+        scaler.step(30.0)  # lag has not elapsed (ready at 45)
+        assert target.replica_count == 1
+        scaler.step(45.0)
+        assert target.replica_count == 4
+        assert scaler.pending_count == 0
+        assert scaler.events == [(45.0, +1, 2), (45.0, +1, 3), (45.0, +1, 4)]
+        assert scaler.events_total == 3
+
+    def test_up_stabilization_takes_smallest_recommendation(self):
+        policy = AutoscalePolicy(provisioning_lag_s=0.0,
+                                 scale_up_stabilization_s=30.0,
+                                 scale_down_stabilization_s=30.0)
+        scaler, target, src = make_scaler(policy, replicas=1, inflight=2.0)
+        scaler.step(0.0)  # desired 1: a low sample enters the window
+        src.inflight = 8.0  # the spike begins
+        scaler.step(15.0)
+        scaler.step(30.0)
+        # The 30 s window still contains the desired-1 sample: no launch.
+        assert scaler.pending_count == 0 and target.replica_count == 1
+        scaler.step(45.0)  # low sample aged out; window is all desired-4
+        assert scaler.pending_count == 3
+
+    def test_admission_respects_max_replicas(self):
+        policy = AutoscalePolicy(max_replicas=3, provisioning_lag_s=10.0)
+        scaler, target, _src = make_scaler(policy, replicas=2, inflight=16.0)
+        scaler.step(0.0)
+        assert scaler.pending_count == 1  # desired bounded at max 3
+        # An operator scales the deployment by hand before the pending
+        # replica lands: admission must not overshoot the bound.
+        target.replica_count = 3
+        scaler.step(10.0)
+        assert target.replica_count == 3
+        assert scaler.events == []
+
+
+class TestScaleDown:
+    def test_down_stabilization_rides_out_dips(self):
+        policy = AutoscalePolicy(provisioning_lag_s=0.0,
+                                 scale_down_stabilization_s=60.0)
+        scaler, target, src = make_scaler(policy, replicas=4, inflight=8.0)
+        scaler.step(0.0)  # desired 4 enters the down-window
+        src.inflight = 2.0  # load drops; desired becomes 1
+        for t in (15.0, 30.0, 45.0, 60.0):
+            scaler.step(t)
+            assert target.replica_count == 4, t  # peak still in window
+        scaler.step(61.0)  # the desired-4 sample aged out
+        assert target.replica_count == 3
+
+    def test_at_most_one_retirement_per_evaluation(self):
+        policy = AutoscalePolicy(scale_down_stabilization_s=0.0)
+        scaler, target, _src = make_scaler(policy, replicas=4, inflight=2.0)
+        scaler.step(15.0)
+        assert target.replica_count == 3  # not straight to 1
+        scaler.step(30.0)
+        assert target.replica_count == 2
+        assert scaler.events == [(15.0, -1, 3), (30.0, -1, 2)]
+
+    def test_pending_launches_cancelled_before_retiring_running(self):
+        policy = AutoscalePolicy(provisioning_lag_s=100.0,
+                                 scale_down_stabilization_s=0.0)
+        scaler, target, src = make_scaler(policy, replicas=2, inflight=12.0)
+        scaler.step(0.0)  # desired 6: 4 launches enter the pipeline
+        assert scaler.pending_count == 4
+        src.inflight = 2.0  # desired 1 before anything was admitted
+        scaler.step(15.0)
+        assert scaler.cancelled == 4  # free: they never served
+        assert scaler.pending_count == 0
+        assert target.replica_count == 1  # plus one real retirement
+        assert scaler.events == [(15.0, -1, 1)]
+
+    def test_never_scales_below_min_replicas(self):
+        policy = AutoscalePolicy(min_replicas=2,
+                                 scale_down_stabilization_s=0.0)
+        scaler, target, _src = make_scaler(policy, replicas=3, inflight=0.0)
+        scaler.step(15.0)
+        assert scaler.last_desired == 2  # raw 0 bounded up to min
+        assert target.replica_count == 2
+        scaler.step(30.0)
+        assert target.replica_count == 2
+
+
+class TestSignals:
+    def test_rps_metric(self):
+        policy = AutoscalePolicy(metric="rps", target=40.0)
+        scaler, _target, _src = make_scaler(policy, rps=90.0)
+        scaler.step(15.0)
+        assert scaler.last_desired == 3  # ceil(90 / 40)
+
+    def test_p99_metric_scales_proportionally(self):
+        policy = AutoscalePolicy(metric="p99", target=0.2)
+        scaler, _target, _src = make_scaler(
+            policy, replicas=2, latency_s=0.5)
+        scaler.step(15.0)
+        assert scaler.last_desired == 5  # ceil(2 * 0.5 / 0.2)
+
+    def test_p99_without_latency_sample_holds(self):
+        policy = AutoscalePolicy(metric="p99", target=0.2)
+        scaler, _target, _src = make_scaler(policy, replicas=2, rps=10.0)
+        scaler.step(15.0)
+        assert scaler.last_desired is None
+
+
+class TestCostAccounting:
+    def test_pending_replicas_bill_like_running_ones(self):
+        policy = AutoscalePolicy(provisioning_lag_s=10.0)
+        scaler, _target, src = make_scaler(policy, replicas=1, inflight=4.0)
+        scaler.step(0.0)  # launch one (desired 2)
+        assert scaler.pending_count == 1
+        src.inflight = None  # hold state from here on
+        scaler.step(10.0)  # 10 s x (1 running + 1 pending)
+        assert scaler.replica_seconds == pytest.approx(20.0)
+        scaler.finalize(20.0)  # 10 s x 2 running
+        assert scaler.replica_seconds == pytest.approx(40.0)
+
+    def test_finalize_is_idempotent(self):
+        scaler, _target, _src = make_scaler(AutoscalePolicy(), replicas=2)
+        scaler.finalize(30.0)
+        scaler.finalize(30.0)
+        assert scaler.replica_seconds == pytest.approx(60.0)
+
+
+class TestSimBackendTargetWarmup:
+    def test_cold_start_ramp(self, sim, rng_registry):
+        backend = Backend(sim, "svc", "cluster-1",
+                          constant_backend_profile(0.1, 0.2), rng_registry,
+                          replicas=1, replica_capacity=4)
+        target = SimBackendTarget(backend, warmup_s=10.0,
+                                  cold_start_factor=2.0)
+        target.add_replica(0.0)
+        fresh = backend.replicas[-1]
+        assert target.replica_count == 2
+        assert fresh.service_time_scale == 2.0  # half speed when cold
+        target.tick_warmup(5.0)
+        assert fresh.service_time_scale == pytest.approx(1.5)
+        target.tick_warmup(10.0)
+        assert fresh.service_time_scale == 1.0
+        target.tick_warmup(20.0)  # ramp finished: no further effect
+        assert fresh.service_time_scale == 1.0
+
+    def test_remove_retires_newest_and_forgets_its_ramp(self, sim,
+                                                       rng_registry):
+        backend = Backend(sim, "svc", "cluster-1",
+                          constant_backend_profile(0.1, 0.2), rng_registry,
+                          replicas=1, replica_capacity=4)
+        target = SimBackendTarget(backend, warmup_s=10.0,
+                                  cold_start_factor=2.0)
+        target.add_replica(0.0)
+        newest = backend.replicas[-1]
+        target.remove_replica(1.0)
+        assert target.replica_count == 1
+        assert newest not in backend.replicas
+        assert target._warming == []
+
+    def test_without_warmup_replicas_join_at_full_speed(self, sim,
+                                                        rng_registry):
+        backend = Backend(sim, "svc", "cluster-1",
+                          constant_backend_profile(0.1, 0.2), rng_registry,
+                          replicas=1, replica_capacity=4)
+        target = SimBackendTarget(backend)
+        target.add_replica(0.0)
+        assert backend.replicas[-1].service_time_scale == 1.0

@@ -1,0 +1,138 @@
+"""Live-substrate autoscaling: FakeClock-driven scaling of a real
+ReplicaServer's capacity semaphore — zero real sleeps, zero sockets."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.autoscale import AutoscalePolicy, BackendAutoscaler
+from repro.autoscale.live import LiveAutoscaler, LiveCapacityTarget
+from repro.errors import ConfigError
+from repro.live.clock import FakeClock
+from repro.live.server import ReplicaServer
+from repro.telemetry import names
+from repro.workloads.profiles import constant_backend_profile
+
+
+def make_server(capacity=8):
+    return ReplicaServer("api/cluster-1", constant_backend_profile(0.0, 0.0),
+                         random.Random(0), FakeClock(), capacity=capacity)
+
+
+class FakeSource:
+    def __init__(self, inflight=None):
+        self.inflight = inflight
+
+    def server_gauge(self, name, metric, now, window_s):
+        return self.inflight
+
+
+class TestLiveCapacityTarget:
+    def test_capacity_moves_in_replica_quanta(self):
+        server = make_server(capacity=8)
+        target = LiveCapacityTarget(server, unit_capacity=4)
+        assert target.replica_count == 2
+        assert server.replica_units == 2
+        target.add_replica(0.0)
+        assert server.capacity == 12 and server.replica_units == 3
+        target.remove_replica(1.0)
+        assert server.capacity == 8 and server.replica_units == 2
+
+    def test_unit_must_divide_capacity(self):
+        with pytest.raises(ConfigError):
+            LiveCapacityTarget(make_server(capacity=8), unit_capacity=3)
+
+    def test_unit_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            LiveCapacityTarget(make_server(capacity=8), unit_capacity=0)
+
+    def test_metrics_page_reports_replica_units(self):
+        from repro.live.exposition import parse_exposition
+        server = make_server(capacity=8)
+        LiveCapacityTarget(server, unit_capacity=4)
+        parsed = parse_exposition(server.render_metrics())
+        gauges = parsed["server|api/cluster-1"]
+        assert gauges[names.REPLICA_COUNT] == 2.0
+        assert names.SERVER_QUEUE in gauges
+
+
+class TestSetCapacityDraining:
+    def test_shrink_takes_effect_as_requests_finish(self):
+        async def scenario():
+            server = make_server(capacity=2)
+            # Occupy both slots, then shrink to 1 while they are held:
+            # nothing is interrupted, and only one permit comes back.
+            first = asyncio.create_task(server._work())
+            second = asyncio.create_task(server._work())
+            await asyncio.sleep(0)  # let both acquire their slots
+            server.set_capacity(1)
+            assert server._capacity_debt == 1
+            await asyncio.gather(first, second)
+            assert server._capacity_debt == 0
+            # The single remaining slot still serves.
+            assert (await server._work())[0] == 200
+            return server
+
+        server = asyncio.run(scenario())
+        assert server.requests_served == 3
+
+    def test_growth_pays_down_debt_before_adding_permits(self):
+        async def scenario():
+            server = make_server(capacity=4)
+            server.set_capacity(2)  # idle shrink: debt 2
+            assert server._capacity_debt == 2
+            server.set_capacity(3)  # growth of 1 only settles debt
+            assert server._capacity_debt == 1
+            # 3 requests may hold slots at once (capacity 3, debt 1
+            # retired by the first to finish).
+            results = await asyncio.gather(*(server._work()
+                                             for _ in range(3)))
+            assert all(status == 200 for status, _body in results)
+
+        asyncio.run(scenario())
+
+    def test_shrink_below_one_rejected(self):
+        from repro.errors import MeshError
+        with pytest.raises(MeshError):
+            make_server(capacity=2).set_capacity(0)
+
+
+class TestLiveAutoscaler:
+    def test_fake_clock_scale_up_without_sleeps(self):
+        clock = FakeClock()
+        server = make_server(capacity=8)
+        target = LiveCapacityTarget(server, unit_capacity=4)
+        source = FakeSource(inflight=12.0)
+        policy = AutoscalePolicy(target=0.5, min_replicas=1, max_replicas=4,
+                                 interval_s=5.0, provisioning_lag_s=10.0,
+                                 scale_down_stabilization_s=0.0)
+        scaler = BackendAutoscaler("api/cluster-1", target, policy, source)
+        loop = LiveAutoscaler(scaler, start_time=clock.now)
+
+        assert loop.tick(clock.advance(4.0)) is False  # not due yet
+        assert loop.tick(clock.advance(1.0)) is True  # t=5: evaluates
+        # inflight 12 / (0.5 x 4) => desired 4: two launches pending.
+        assert scaler.pending_count == 2
+        assert server.capacity == 8  # provisioning lag not elapsed
+        loop.tick(clock.advance(5.0))  # t=10: still provisioning
+        assert server.capacity == 8
+        loop.tick(clock.advance(5.0))  # t=15: both admitted
+        assert server.capacity == 16
+        assert server.replica_units == 4
+
+        source.inflight = 2.0  # load drops: desired 1, one step at a time
+        loop.tick(clock.advance(5.0))
+        assert server.capacity == 12
+        loop.tick(clock.advance(5.0))
+        assert server.capacity == 8
+
+    def test_ticks_between_intervals_do_not_step(self):
+        clock = FakeClock()
+        server = make_server(capacity=8)
+        scaler = BackendAutoscaler(
+            "api/cluster-1", LiveCapacityTarget(server, 4),
+            AutoscalePolicy(interval_s=5.0), FakeSource(inflight=2.0))
+        loop = LiveAutoscaler(scaler, start_time=clock.now)
+        steps = sum(loop.tick(clock.advance(1.0)) for _ in range(20))
+        assert steps == 4  # t=5, 10, 15, 20

@@ -1,0 +1,139 @@
+"""AutoscalePolicy validation and the --autoscale spec grammar."""
+
+import pytest
+
+from repro.autoscale import (
+    AutoscalePolicy,
+    describe_policies,
+    parse_autoscale_spec,
+    resolve_autoscale_policies,
+)
+from repro.errors import AutoscaleSpecError, ConfigError
+
+CLUSTERS = ("cluster-1", "cluster-2", "cluster-3")
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = AutoscalePolicy()
+        assert policy.metric == "inflight"
+        assert policy.query_window_s == policy.interval_s
+
+    def test_window_overrides_query_window(self):
+        assert AutoscalePolicy(window_s=7.0).query_window_s == 7.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"metric": "cpu"},
+        {"target": 0.0},
+        {"metric": "inflight", "target": 1.5},
+        {"min_replicas": 0},
+        {"min_replicas": 5, "max_replicas": 2},
+        {"interval_s": 0.0},
+        {"provisioning_lag_s": -1.0},
+        {"warmup_s": -1.0},
+        {"cold_start_factor": 0.5},
+        {"scale_up_stabilization_s": -1.0},
+        {"scale_down_stabilization_s": -1.0},
+        {"window_s": 0.0},
+    ])
+    def test_bad_fields_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            AutoscalePolicy(**kwargs)
+
+    def test_rps_target_may_exceed_one(self):
+        # The utilization ceiling applies to the inflight metric only.
+        assert AutoscalePolicy(metric="rps", target=40.0).target == 40.0
+
+
+class TestSpecGrammar:
+    def test_wildcard_covers_every_cluster(self):
+        policies = parse_autoscale_spec("*:target=0.4:max=8", CLUSTERS)
+        assert sorted(policies) == sorted(CLUSTERS)
+        assert all(p.target == 0.4 and p.max_replicas == 8
+                   for p in policies.values())
+
+    def test_named_entry_overrides_wildcard_fieldwise(self):
+        policies = parse_autoscale_spec(
+            "*:target=0.4:max=8 ; cluster-2:max=2", CLUSTERS)
+        assert policies["cluster-2"].max_replicas == 2
+        assert policies["cluster-2"].target == 0.4  # inherited
+        assert policies["cluster-1"].max_replicas == 8
+
+    def test_named_only_spec_covers_named_clusters(self):
+        policies = parse_autoscale_spec(
+            "cluster-1:metric=rps:target=40:min=2:max=6", CLUSTERS)
+        assert list(policies) == ["cluster-1"]
+        assert policies["cluster-1"].metric == "rps"
+        assert policies["cluster-1"].min_replicas == 2
+
+    def test_every_documented_key_parses(self):
+        spec = ("*:metric=p99:target=0.3:min=2:max=5:interval=10:lag=25"
+                ":warmup=12:cold=1.5:up-window=5:down-window=90:window=20")
+        policy = parse_autoscale_spec(spec, CLUSTERS)["cluster-1"]
+        assert policy.metric == "p99"
+        assert policy.provisioning_lag_s == 25.0
+        assert policy.cold_start_factor == 1.5
+        assert policy.scale_up_stabilization_s == 5.0
+        assert policy.scale_down_stabilization_s == 90.0
+        assert policy.window_s == 20.0
+
+    @pytest.mark.parametrize("spec", [
+        "",
+        ";;",
+        ":target=0.5",
+        "*:target",
+        "*:bogus=1",
+        "*:target=abc",
+        "*:metric=cpu",
+        "*:target=0.5:target=0.6",
+        "* ; *",
+        "cluster-1 ; cluster-1",
+        "cluster-9:target=0.5",
+        "*:min=4:max=2",
+        "*:target=2.0",  # inflight utilization ceiling
+    ])
+    def test_bad_specs_rejected_at_parse_time(self, spec):
+        with pytest.raises(AutoscaleSpecError):
+            parse_autoscale_spec(spec, CLUSTERS)
+
+    def test_spec_error_is_a_config_error(self):
+        with pytest.raises(ConfigError):
+            parse_autoscale_spec("*:bogus=1", CLUSTERS)
+
+
+class TestResolve:
+    def test_single_policy_applies_everywhere(self):
+        policy = AutoscalePolicy(max_replicas=4)
+        resolved = resolve_autoscale_policies(policy, CLUSTERS)
+        assert sorted(resolved) == sorted(CLUSTERS)
+        assert all(p is policy for p in resolved.values())
+
+    def test_mapping_passes_through(self):
+        policy = AutoscalePolicy()
+        resolved = resolve_autoscale_policies({"cluster-2": policy}, CLUSTERS)
+        assert resolved == {"cluster-2": policy}
+
+    def test_string_is_parsed(self):
+        resolved = resolve_autoscale_policies("*:max=4", CLUSTERS)
+        assert resolved["cluster-3"].max_replicas == 4
+
+    @pytest.mark.parametrize("bad", [
+        {"cluster-9": AutoscalePolicy()},
+        {"cluster-1": 0.5},
+        42,
+    ])
+    def test_bad_arguments_rejected(self, bad):
+        with pytest.raises(AutoscaleSpecError):
+            resolve_autoscale_policies(bad, CLUSTERS)
+
+
+class TestDescribe:
+    def test_mentions_clusters_and_non_default_fields(self):
+        text = describe_policies(
+            parse_autoscale_spec("*:target=0.4 ; cluster-2:max=2", CLUSTERS))
+        assert "cluster-1" in text and "cluster-2" in text
+        assert "max_replicas=2" in text
+        assert "target=0.4" in text
+
+    def test_default_policy_reads_as_defaults(self):
+        assert "defaults" in describe_policies({"c": AutoscalePolicy()})

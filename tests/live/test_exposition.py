@@ -37,8 +37,8 @@ class TestRoundTrip:
         series = telemetry.scrape_name
         assert set(parsed) == {series}
         for metric in names.ALL_METRICS:
-            if metric == names.SERVER_QUEUE:
-                continue  # server-side gauge, not part of proxy bundles
+            if metric in names.SERVER_SIDE_METRICS:
+                continue  # server-side series, not part of proxy bundles
             stored = store.series(series, metric).latest_in_window(0.0, 7.0)
             assert stored is not None, metric
             assert parsed[series][metric] == stored[1], metric

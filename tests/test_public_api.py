@@ -24,7 +24,7 @@ class TestExports:
         assert all(part.isdigit() for part in parts)
 
     def test_scenario_and_balancer_registries_agree_with_docs(self):
-        assert len(repro.SCENARIO_NAMES) == 7
+        assert len(repro.SCENARIO_NAMES) == 9
         assert "l3" in repro.BALANCER_NAMES
         assert "round-robin" in repro.BALANCER_NAMES
         assert "c3" in repro.BALANCER_NAMES
@@ -33,6 +33,7 @@ class TestExports:
 class TestSubpackages:
     def test_every_subpackage_has_all(self):
         import repro.analysis
+        import repro.autoscale
         import repro.balancers
         import repro.core
         import repro.mesh
@@ -42,9 +43,9 @@ class TestSubpackages:
         import repro.tracing
         import repro.workloads
 
-        for pkg in (repro.analysis, repro.balancers, repro.core, repro.mesh,
-                    repro.sim, repro.telemetry, repro.tournament,
-                    repro.tracing, repro.workloads):
+        for pkg in (repro.analysis, repro.autoscale, repro.balancers,
+                    repro.core, repro.mesh, repro.sim, repro.telemetry,
+                    repro.tournament, repro.tracing, repro.workloads):
             assert pkg.__all__, pkg.__name__
             for name in pkg.__all__:
                 assert hasattr(pkg, name), f"{pkg.__name__}.{name}"
